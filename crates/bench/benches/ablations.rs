@@ -1,0 +1,66 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! conditional-stream merge vs a bitonic-network baseline for Sort, DRAM
+//! burst granularity (the memory-access-scheduling assumption), and the
+//! Section 7 sparse cross-lane interconnect (crossbar vs ring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_apps::micro::crosslane_throughput_with_topology;
+use isrf_apps::sort::{run_base_bitonic, SortParams};
+use isrf_core::config::{ConfigName, CrossLaneTopology, MachineConfig};
+use isrf_mem::{AddrPattern, MemorySystem};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let params = SortParams {
+        keys_per_lane: 64,
+        ..Default::default()
+    };
+    g.bench_function("sort_base_bitonic", |b| {
+        b.iter(|| run_base_bitonic(ConfigName::Base, &params))
+    });
+    g.bench_function("gather_burst1_vs_burst4", |b| {
+        b.iter(|| {
+            let mut cycles = [0u64; 2];
+            for (i, burst) in [1u32, 4].iter().enumerate() {
+                let mut cfg = MachineConfig::preset(ConfigName::Base);
+                cfg.dram.burst_words = *burst;
+                let mut sys = MemorySystem::new(&cfg);
+                let addrs: Vec<u32> = (0..512u32).map(|k| (k * 97) % 4096 * 16).collect();
+                let (id, _) = sys.start_read(AddrPattern::Indexed(addrs), false);
+                while !sys.is_complete(id) {
+                    sys.tick();
+                }
+                cycles[i] = sys.now();
+            }
+            cycles
+        })
+    });
+    for topo in [CrossLaneTopology::Crossbar, CrossLaneTopology::Ring] {
+        g.bench_function(format!("crosslane_{topo:?}"), |b| {
+            b.iter(|| crosslane_throughput_with_topology(1, 0, topo, 2000))
+        });
+    }
+    g.finish();
+
+    // Print the ablation results once.
+    let params = SortParams {
+        keys_per_lane: 64,
+        ..Default::default()
+    };
+    let cond = isrf_apps::sort::run(ConfigName::Base, &params);
+    let bitonic = run_base_bitonic(ConfigName::Base, &params);
+    println!("\nAblation: Sort baseline mechanism");
+    println!("  conditional-stream merge: {} cycles", cond.cycles);
+    println!("  bitonic network:          {} cycles", bitonic.cycles);
+    println!("Ablation: cross-lane interconnect (1 port/bank, no comm)");
+    for topo in [CrossLaneTopology::Crossbar, CrossLaneTopology::Ring] {
+        println!(
+            "  {topo:?}: {:.3} words/cycle/lane",
+            crosslane_throughput_with_topology(1, 0, topo, 3000)
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 11 bench: times the runs behind the off-chip-traffic comparison
+//! (one representative benchmark per traffic class) and prints the figure
+//! rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_bench::{fig11, run_benchmark, Profile};
+use isrf_core::config::ConfigName;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("Rijndael", ConfigName::Base),
+        ("Rijndael", ConfigName::Isrf4),
+        ("FFT 2D", ConfigName::Base),
+        ("FFT 2D", ConfigName::Isrf4),
+        ("IG_DMS", ConfigName::Isrf4),
+    ] {
+        g.bench_function(format!("{name}/{cfg}"), |b| {
+            b.iter(|| run_benchmark(name, cfg, Profile::Small))
+        });
+    }
+    g.finish();
+    println!("\nFigure 11 (ISRF / Cache traffic normalized to Base):");
+    for (name, isrf, cache) in fig11(Profile::Small) {
+        println!("  {name:<10} {isrf:.3} {cache:.3}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

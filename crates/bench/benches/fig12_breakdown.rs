@@ -1,0 +1,35 @@
+//! Figure 12 bench: times the full four-configuration sweep of one
+//! benchmark and prints the breakdown rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_bench::{fig12, run_benchmark, Profile};
+use isrf_core::config::ConfigName;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("sort_all_configs", |b| {
+        b.iter(|| {
+            for cfg in ConfigName::ALL {
+                run_benchmark("Sort", cfg, Profile::Small);
+            }
+        })
+    });
+    g.finish();
+    println!("\nFigure 12 (normalized execution time, loop/mem/srf/ovh):");
+    for r in fig12(Profile::Small) {
+        println!(
+            "  {:<10} {:<6} {:.3} {:.3} {:.3} {:.3} = {:.3}",
+            r.benchmark,
+            r.config.to_string(),
+            r.parts[0],
+            r.parts[1],
+            r.parts[2],
+            r.parts[3],
+            r.total()
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 13 bench: times ISRF4 runs (the bandwidth measurements) and
+//! prints sustained SRF bandwidth per benchmark once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_bench::{fig13, run_benchmark, Profile};
+use isrf_core::config::ConfigName;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for name in ["Filter", "IG_SML"] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_benchmark(name, ConfigName::Isrf4, Profile::Small))
+        });
+    }
+    g.finish();
+    println!("\nFigure 13 (seq / cross-lane / in-lane words per cycle per lane):");
+    for (name, [s, x, i]) in fig13(Profile::Small) {
+        println!("  {name:<10} {s:.3} {x:.3} {i:.3}");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 14 bench: times the modulo scheduler on the study kernels and
+//! prints the schedule-length curves once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_apps::{rijndael, sort};
+use isrf_core::config::{ConfigName, MachineConfig};
+use isrf_kernel::sched::{schedule, SchedParams};
+
+fn bench(c: &mut Criterion) {
+    let params = SchedParams::from_machine(&MachineConfig::preset(ConfigName::Isrf4));
+    let rk = isrf_apps::aes::key_expansion(&isrf_apps::aes::FIPS_KEY);
+    let rij = rijndael::build_isrf_kernel(&rk, 1);
+    let s2 = sort::sort2_kernel();
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("schedule_rijndael_750_ops", |b| {
+        b.iter(|| schedule(&rij, &params).unwrap())
+    });
+    g.bench_function("schedule_sort2", |b| b.iter(|| schedule(&s2, &params).unwrap()));
+    g.finish();
+    println!("\nFigure 14 (normalized II vs separation):");
+    for (name, pts) in isrf_bench::fig14() {
+        print!("  {name:<10}");
+        for (s, v) in pts {
+            print!(" {s}:{v:.2}");
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

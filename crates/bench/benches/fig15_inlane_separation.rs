@@ -1,0 +1,32 @@
+//! Figure 15 bench: times one separation-sweep point and prints the
+//! in-lane sweep curves once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_apps::common::set_separation_override;
+use isrf_bench::{fig15, run_benchmark, Profile};
+use isrf_core::config::ConfigName;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("sort_sep2", |b| {
+        b.iter(|| {
+            set_separation_override(Some((2, 20)));
+            let s = run_benchmark("Sort", ConfigName::Isrf4, Profile::Small);
+            set_separation_override(None);
+            s
+        })
+    });
+    g.finish();
+    println!("\nFigure 15 (normalized time vs in-lane separation):");
+    for (name, pts) in fig15(Profile::Small) {
+        print!("  {name:<10}");
+        for (s, v) in pts {
+            print!(" {s}:{v:.2}");
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

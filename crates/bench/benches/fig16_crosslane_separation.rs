@@ -1,0 +1,32 @@
+//! Figure 16 bench: times one cross-lane sweep point and prints the
+//! cross-lane sweep curves once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_apps::common::set_separation_override;
+use isrf_bench::{fig16, run_benchmark, Profile};
+use isrf_core::config::ConfigName;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("ig_dms_sep4", |b| {
+        b.iter(|| {
+            set_separation_override(Some((6, 4)));
+            let s = run_benchmark("IG_DMS", ConfigName::Isrf4, Profile::Small);
+            set_separation_override(None);
+            s
+        })
+    });
+    g.finish();
+    println!("\nFigure 16 (normalized time vs cross-lane separation):");
+    for (name, pts) in fig16(Profile::Small) {
+        print!("  {name:<10}");
+        for (s, v) in pts {
+            print!(" {s}:{v:.2}");
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 17 bench: times the in-lane random-access microbenchmark and
+//! prints the sub-array x FIFO sweep once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_apps::micro::inlane_throughput;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17");
+    for s in [1usize, 4, 8] {
+        g.bench_function(format!("subarrays_{s}"), |b| {
+            b.iter(|| inlane_throughput(s, 8, 8, 2000))
+        });
+    }
+    g.finish();
+    println!("\nFigure 17 (words/cycle/lane):");
+    for (s, pts) in isrf_bench::fig17(2000) {
+        print!("  {s} sub-arrays:");
+        for (f, t) in pts {
+            print!(" fifo{f}={t:.2}");
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

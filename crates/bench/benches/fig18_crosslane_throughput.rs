@@ -1,0 +1,26 @@
+//! Figure 18 bench: times the cross-lane microbenchmark and prints the
+//! ports x occupancy sweep once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_apps::micro::crosslane_throughput;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18");
+    for ports in [1usize, 2, 4] {
+        g.bench_function(format!("ports_{ports}"), |b| {
+            b.iter(|| crosslane_throughput(ports, 40, 2000))
+        });
+    }
+    g.finish();
+    println!("\nFigure 18 (words/cycle/lane):");
+    for (ports, pts) in isrf_bench::fig18(2000) {
+        print!("  {ports} port(s):");
+        for (o, t) in pts {
+            print!(" {o}%={t:.2}");
+        }
+        println!();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Section 4.5/4.6 bench: times the Cacti-style area model and prints the
+//! overhead/energy tables once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_sram::{AreaModel, SrfGeometry, SrfVariant};
+
+fn bench(c: &mut Criterion) {
+    let model = AreaModel::default();
+    let geom = SrfGeometry::paper_default();
+    c.bench_function("area_model_all_variants", |b| {
+        b.iter(|| {
+            SrfVariant::ALL
+                .iter()
+                .map(|&v| model.srf_area_um2(&geom, v))
+                .sum::<f64>()
+        })
+    });
+    println!("\nSection 4.6 (SRF area overhead, die overhead):");
+    for (v, srf, die) in isrf_bench::area_table() {
+        println!("  {v:?}: +{:.1}% SRF, +{:.2}% die", srf * 100.0, die * 100.0);
+    }
+    let (seq, inl, xl, dram) = isrf_bench::energy_table();
+    println!("Section 4.5 energy: seq {seq:.4} nJ, in-lane {inl:.4} nJ, cross-lane {xl:.4} nJ, DRAM {dram:.1} nJ");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Reference AES-128 (Rijndael) implementation and T-table generation.
+//!
+//! The benchmark's kernels implement the T-table formulation the paper
+//! cites (ref. 25): each round of the cipher becomes 16 table lookups plus
+//! XORs. This module provides an *independent* byte-level reference
+//! (SubBytes / ShiftRows / MixColumns / AddRoundKey), the table generator,
+//! a scalar T-table encryptor (to validate the formulation), key expansion
+//! and CBC chaining — everything needed to check the simulated kernels
+//! against FIPS-197.
+
+/// The AES S-box.
+#[rustfmt::skip]
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Expand a 128-bit key into 44 round-key words (big-endian packing).
+pub fn key_expansion(key: &[u8; 16]) -> [u32; 44] {
+    const RCON: [u32; 10] = [
+        0x0100_0000,
+        0x0200_0000,
+        0x0400_0000,
+        0x0800_0000,
+        0x1000_0000,
+        0x2000_0000,
+        0x4000_0000,
+        0x8000_0000,
+        0x1b00_0000,
+        0x3600_0000,
+    ];
+    let sub_word = |w: u32| -> u32 {
+        (u32::from(SBOX[(w >> 24) as usize]) << 24)
+            | (u32::from(SBOX[(w >> 16 & 0xff) as usize]) << 16)
+            | (u32::from(SBOX[(w >> 8 & 0xff) as usize]) << 8)
+            | u32::from(SBOX[(w & 0xff) as usize])
+    };
+    let mut w = [0u32; 44];
+    for i in 0..4 {
+        w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t = sub_word(t.rotate_left(8)) ^ RCON[i / 4 - 1];
+        }
+        w[i] = w[i - 4] ^ t;
+    }
+    w
+}
+
+/// Byte-level reference encryption of one block (column-major state).
+pub fn encrypt_block_reference(rk: &[u32; 44], block: [u32; 4]) -> [u32; 4] {
+    // Unpack big-endian words into a column-major byte state.
+    let mut s = [0u8; 16];
+    for c in 0..4 {
+        let w = block[c].to_be_bytes();
+        s[4 * c..4 * c + 4].copy_from_slice(&w);
+    }
+    let add_rk = |s: &mut [u8; 16], rk: &[u32]| {
+        for c in 0..4 {
+            let k = rk[c].to_be_bytes();
+            for r in 0..4 {
+                s[4 * c + r] ^= k[r];
+            }
+        }
+    };
+    let sub_bytes = |s: &mut [u8; 16]| {
+        for b in s.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    };
+    let shift_rows = |s: &mut [u8; 16]| {
+        let old = *s;
+        for r in 1..4 {
+            for c in 0..4 {
+                s[4 * c + r] = old[4 * ((c + r) % 4) + r];
+            }
+        }
+    };
+    let mix_columns = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let a = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            s[4 * c] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
+            s[4 * c + 1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
+            s[4 * c + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
+            s[4 * c + 3] = (xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ xtime(a[3]);
+        }
+    };
+
+    add_rk(&mut s, &rk[0..4]);
+    for round in 1..10 {
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        mix_columns(&mut s);
+        add_rk(&mut s, &rk[4 * round..4 * round + 4]);
+    }
+    sub_bytes(&mut s);
+    shift_rows(&mut s);
+    add_rk(&mut s, &rk[40..44]);
+
+    let mut out = [0u32; 4];
+    for c in 0..4 {
+        out[c] = u32::from_be_bytes([s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]]);
+    }
+    out
+}
+
+/// Generate the four round T-tables (`Te0..Te3`).
+pub fn te_tables() -> [[u32; 256]; 4] {
+    let mut te = [[0u32; 256]; 4];
+    for x in 0..256 {
+        let s = SBOX[x];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        let t0 = (u32::from(s2) << 24) | (u32::from(s) << 16) | (u32::from(s) << 8) | u32::from(s3);
+        te[0][x] = t0;
+        te[1][x] = t0.rotate_right(8);
+        te[2][x] = t0.rotate_right(16);
+        te[3][x] = t0.rotate_right(24);
+    }
+    te
+}
+
+/// Scalar T-table encryption — the formulation the simulated kernels use.
+pub fn encrypt_block_ttable(rk: &[u32; 44], block: [u32; 4]) -> [u32; 4] {
+    let te = te_tables();
+    let mut s = [
+        block[0] ^ rk[0],
+        block[1] ^ rk[1],
+        block[2] ^ rk[2],
+        block[3] ^ rk[3],
+    ];
+    for round in 1..10 {
+        let mut t = [0u32; 4];
+        for i in 0..4 {
+            t[i] = te[0][(s[i] >> 24) as usize]
+                ^ te[1][(s[(i + 1) % 4] >> 16 & 0xff) as usize]
+                ^ te[2][(s[(i + 2) % 4] >> 8 & 0xff) as usize]
+                ^ te[3][(s[(i + 3) % 4] & 0xff) as usize]
+                ^ rk[4 * round + i];
+        }
+        s = t;
+    }
+    let mut out = [0u32; 4];
+    for i in 0..4 {
+        out[i] = (u32::from(SBOX[(s[i] >> 24) as usize]) << 24)
+            ^ (u32::from(SBOX[(s[(i + 1) % 4] >> 16 & 0xff) as usize]) << 16)
+            ^ (u32::from(SBOX[(s[(i + 2) % 4] >> 8 & 0xff) as usize]) << 8)
+            ^ u32::from(SBOX[(s[(i + 3) % 4] & 0xff) as usize])
+            ^ rk[40 + i];
+    }
+    out
+}
+
+/// CBC-encrypt `blocks` (each 4 big-endian words) with a zero IV.
+pub fn encrypt_cbc(rk: &[u32; 44], blocks: &[[u32; 4]]) -> Vec<[u32; 4]> {
+    let mut prev = [0u32; 4];
+    blocks
+        .iter()
+        .map(|b| {
+            let x = [
+                b[0] ^ prev[0],
+                b[1] ^ prev[1],
+                b[2] ^ prev[2],
+                b[3] ^ prev[3],
+            ];
+            prev = encrypt_block_reference(rk, x);
+            prev
+        })
+        .collect()
+}
+
+/// The FIPS-197 Appendix B key.
+pub const FIPS_KEY: [u8; 16] = [
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b() {
+        let rk = key_expansion(&FIPS_KEY);
+        let pt = [0x3243_f6a8, 0x885a_308d, 0x3131_98a2, 0xe037_0734];
+        let ct = encrypt_block_reference(&rk, pt);
+        assert_eq!(ct, [0x3925_841d, 0x02dc_09fb, 0xdc11_8597, 0x196a_0b32]);
+    }
+
+    #[test]
+    fn fips197_appendix_c() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let rk = key_expansion(&key);
+        let pt = [0x0011_2233, 0x4455_6677, 0x8899_aabb, 0xccdd_eeff];
+        let ct = encrypt_block_reference(&rk, pt);
+        assert_eq!(ct, [0x69c4_e0d8, 0x6a7b_0430, 0xd8cd_b780, 0x70b4_c55a]);
+    }
+
+    #[test]
+    fn key_expansion_first_and_last_words() {
+        // FIPS-197 Appendix A.1 expanded-key spot checks.
+        let rk = key_expansion(&FIPS_KEY);
+        assert_eq!(rk[0], 0x2b7e_1516);
+        assert_eq!(rk[4], 0xa0fa_fe17);
+        assert_eq!(rk[43], 0xb663_0ca6);
+    }
+
+    #[test]
+    fn ttable_matches_reference() {
+        let rk = key_expansion(&FIPS_KEY);
+        for seed in 0..50u32 {
+            let b = [
+                seed.wrapping_mul(0x9e37_79b9),
+                seed.wrapping_mul(0x85eb_ca6b) ^ 0xdead_beef,
+                seed.wrapping_mul(0xc2b2_ae35),
+                !seed,
+            ];
+            assert_eq!(
+                encrypt_block_ttable(&rk, b),
+                encrypt_block_reference(&rk, b),
+                "block {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn cbc_chains() {
+        let rk = key_expansion(&FIPS_KEY);
+        let blocks = vec![[1, 2, 3, 4], [5, 6, 7, 8]];
+        let ct = encrypt_cbc(&rk, &blocks);
+        assert_eq!(ct[0], encrypt_block_reference(&rk, [1, 2, 3, 4]));
+        let x = [
+            5 ^ ct[0][0],
+            6 ^ ct[0][1],
+            7 ^ ct[0][2],
+            8 ^ ct[0][3],
+        ];
+        assert_eq!(ct[1], encrypt_block_reference(&rk, x));
+    }
+
+    #[test]
+    fn te_table_relations() {
+        let te = te_tables();
+        for x in 0..256 {
+            assert_eq!(te[1][x], te[0][x].rotate_right(8));
+            assert_eq!(te[3][x], te[0][x].rotate_right(24));
+            // Column sums: Te0[x] bytes are (2,1,1,3)*S[x] in GF(2^8).
+            let s = SBOX[x] as u32;
+            assert_eq!(te[0][x] >> 16 & 0xff, s);
+            assert_eq!(te[0][x] >> 8 & 0xff, s);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared benchmark plumbing.
+
+use std::cell::Cell;
+
+use isrf_core::config::{ConfigName, MachineConfig};
+use isrf_kernel::ir::Kernel;
+use isrf_kernel::sched::{schedule, SchedParams, Schedule};
+use isrf_mem::AddrPattern;
+use isrf_sim::Machine;
+
+thread_local! {
+    static SEPARATION_OVERRIDE: Cell<Option<(u32, u32)>> = const { Cell::new(None) };
+}
+
+/// Override the (in-lane, cross-lane) address/data separations used by all
+/// benchmark machines on this thread — the knob behind the Figure 15/16
+/// parameter studies. Pass `None` to restore the Table 3 defaults.
+pub fn set_separation_override(sep: Option<(u32, u32)>) {
+    SEPARATION_OVERRIDE.with(|c| c.set(sep));
+}
+
+/// Build a machine for one of the paper's configurations.
+///
+/// # Panics
+///
+/// Panics if the preset fails validation (it cannot).
+pub fn machine(cfg: ConfigName) -> Machine {
+    let mut c = MachineConfig::preset(cfg);
+    if let Some((inl, xl)) = SEPARATION_OVERRIDE.with(|c| c.get()) {
+        c.sched.inlane_addr_data_separation = inl;
+        c.sched.crosslane_addr_data_separation = xl;
+    }
+    Machine::new(c).expect("presets validate")
+}
+
+/// Schedule a kernel with the machine's parameters.
+///
+/// # Panics
+///
+/// Panics if the kernel cannot be scheduled — benchmark kernels are fixed,
+/// so this indicates a bug, not an input condition.
+pub fn schedule_for(m: &Machine, k: &Kernel) -> Schedule {
+    schedule(k, &SchedParams::from_machine(m.config()))
+        .unwrap_or_else(|e| panic!("scheduling benchmark kernel failed: {e}"))
+}
+
+/// Address pattern that loads a `entries`-word table from memory at `base`
+/// into an SRF stream replicated once per lane: global record `r` receives
+/// `table[r / lanes]`, so lane-local record `i` is `table[i]` in every
+/// lane.
+pub fn replicated_table_pattern(base: u32, entries: u32, lanes: u32) -> AddrPattern {
+    AddrPattern::Indexed((0..entries * lanes).map(|r| base + r / lanes).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_pattern_layout() {
+        let p = replicated_table_pattern(100, 4, 8);
+        let a = p.to_addrs();
+        assert_eq!(a.len(), 32);
+        assert_eq!(&a[0..8], &[100; 8]);
+        assert_eq!(&a[8..16], &[101; 8]);
+        assert_eq!(a[31], 103);
+    }
+
+    #[test]
+    fn machines_build() {
+        for c in ConfigName::ALL {
+            let m = machine(c);
+            assert_eq!(m.config().lanes, 8);
+        }
+    }
+}

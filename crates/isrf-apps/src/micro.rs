@@ -1,0 +1,273 @@
+//! Microbenchmarks for the parameter studies of Figures 17 and 18.
+//!
+//! These drive the indexed-access machinery directly (no kernel schedule),
+//! mirroring the paper's micro-benchmarks:
+//!
+//! * [`inlane_throughput`] (Figure 17): every cycle each cluster issues
+//!   4 random reads (one per indexed stream) and consumes each datum a
+//!   fixed separation after its issue, stalling when it is late. Sweeps
+//!   the number of sub-arrays per bank and the address-FIFO size; exposes
+//!   head-of-line blocking and the issue-stall feedback loop.
+//! * [`crosslane_throughput`] (Figure 18): every cycle each cluster issues
+//!   1 random cross-lane read while 3 sequential streams stay active
+//!   (taking their share of the SRF port), with a configurable fraction of
+//!   cycles carrying explicit inter-cluster communication, which has
+//!   priority over cross-lane data returns.
+
+use isrf_core::config::{ConfigName, CrossLaneTopology, MachineConfig};
+use isrf_core::stats::SrfTraffic;
+use isrf_sim::{service_indexed, IdxKind, IdxParams, IdxState, Srf, StreamBinding};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sustained in-lane indexed throughput (words/cycle/lane) with `subarrays`
+/// sub-arrays per bank, `fifo` address-FIFO entries, and `separation`
+/// cycles between address issue and data consumption (the paper uses 8).
+pub fn inlane_throughput(subarrays: usize, fifo: usize, separation: u64, cycles: u64) -> f64 {
+    let mut cfg = MachineConfig::preset(ConfigName::Isrf4);
+    cfg.srf.subarrays = subarrays;
+    let idx = cfg.srf.indexed.as_mut().expect("ISRF preset");
+    idx.inlane_words_per_cycle = subarrays;
+    idx.addr_fifo_entries = fifo.max(1);
+    cfg.validate().expect("micro config is valid");
+
+    let lanes = cfg.lanes;
+    let mut srf = Srf::new(&cfg);
+    let range = srf.alloc(srf.bank_words());
+    let binding = StreamBinding::whole(range, 1, srf.bank_words());
+    let n_streams = 4;
+    let mut states: Vec<IdxState> = (0..n_streams)
+        .map(|_| IdxState::new(binding, IdxKind::InLaneRead, lanes, &cfg))
+        .collect();
+    let p = IdxParams::from_machine(&cfg);
+    let mut rng = SmallRng::seed_from_u64(0x000F_1617);
+    let bank_words = srf.bank_words();
+
+    // The driving "kernel" is a software-pipelined SIMD loop at II = 1:
+    // each advance issues 4 addresses (one per stream, all lanes) and pops
+    // the 4 data of the iteration issued `separation` *advances* earlier.
+    // The machine stalls — no lane does anything — when any address FIFO
+    // is full at issue or any due datum has not returned (the paper's
+    // arbitration-failure/bank-conflict stalls).
+    let mut issued: u64 = 0; // iterations issued
+    let mut popped_iters: u64 = 0; // iterations whose data was consumed
+    let mut rr = 0;
+    let mut traffic = SrfTraffic::default();
+
+    for now in 0..cycles {
+        for s in states.iter_mut() {
+            s.tick_arrivals(now);
+        }
+        let must_pop = issued >= popped_iters + separation;
+        let can_pop = !must_pop
+            || states
+                .iter()
+                .all(|s| (0..lanes).all(|l| s.can_pop_data(l)));
+        let can_issue = states
+            .iter()
+            .all(|s| (0..lanes).all(|l| s.can_push_addr(l)));
+        if can_pop && can_issue {
+            if must_pop {
+                for s in states.iter_mut() {
+                    for lane in 0..lanes {
+                        s.pop_data(lane);
+                    }
+                }
+                popped_iters += 1;
+            }
+            for s in states.iter_mut() {
+                for lane in 0..lanes {
+                    s.push_addr(lane, rng.gen_range(0..bank_words));
+                }
+            }
+            issued += 1;
+        }
+        service_indexed(&mut states, &mut srf, now, &p, &mut rr, &mut traffic);
+    }
+    (popped_iters * n_streams as u64) as f64 / cycles as f64
+}
+
+/// Sustained cross-lane indexed throughput (words/cycle/lane) with
+/// `ports_per_bank` network ports per SRF bank and `comm_percent` of
+/// cycles occupied by explicit inter-cluster communication. Three
+/// sequential streams per cluster stay active, competing for the SRF port
+/// as in the paper's setup.
+pub fn crosslane_throughput(ports_per_bank: usize, comm_percent: u32, cycles: u64) -> f64 {
+    crosslane_throughput_with_topology(
+        ports_per_bank,
+        comm_percent,
+        CrossLaneTopology::Crossbar,
+        cycles,
+    )
+}
+
+/// [`crosslane_throughput`] with an explicit interconnect topology — the
+/// sparse-interconnect study the paper's Section 7 proposes.
+pub fn crosslane_throughput_with_topology(
+    ports_per_bank: usize,
+    comm_percent: u32,
+    topology: CrossLaneTopology,
+    cycles: u64,
+) -> f64 {
+    let mut cfg = MachineConfig::preset(ConfigName::Isrf4);
+    let idx = cfg.srf.indexed.as_mut().expect("ISRF preset");
+    idx.network_ports_per_bank = ports_per_bank;
+    idx.crosslane_topology = topology;
+    cfg.validate().expect("micro config is valid");
+
+    let lanes = cfg.lanes;
+    let m = cfg.srf.words_per_seq_access as u64;
+    let mut srf = Srf::new(&cfg);
+    let range = srf.alloc(srf.bank_words());
+    let total_records = srf.bank_words() * lanes as u32;
+    let binding = StreamBinding::whole(range, 1, total_records);
+    let mut state = vec![IdxState::new(binding, IdxKind::CrossLaneRead, lanes, &cfg)];
+    let p = IdxParams::from_machine(&cfg);
+    let mut rng = SmallRng::seed_from_u64(0x000F_1618);
+
+    // Scheduled consumer: the paper's 20-cycle cross-lane address/data
+    // separation, expressed in schedule advances at the driver's issue
+    // rate (and bounded by the FIFO + stream-buffer capacity of 16
+    // outstanding accesses).
+    const SEP: u64 = 8;
+    let mut issued: u64 = 0;
+    let mut popped: u64 = 0;
+    // Three background sequential streams, each consuming one word per
+    // cycle per cluster out of an 8-word buffer refilled by port grants.
+    let mut seq_buf = [8i64, 8, 8];
+    let mut rr_grant = 0usize;
+    let mut rr = 0;
+    let mut comm_acc: u32 = 0;
+    let mut traffic = SrfTraffic::default();
+
+    for now in 0..cycles {
+        // Explicit comm this cycle? It has priority on the data network,
+        // leaving fewer return slots for cross-lane data.
+        comm_acc += comm_percent;
+        let comm_busy = if comm_acc >= 100 {
+            comm_acc -= 100;
+            true
+        } else {
+            false
+        };
+        let mut return_budget = if comm_busy { 2 } else { lanes };
+        state[0].tick_arrivals_budgeted(now, &mut return_budget);
+        // The driving kernel consumes each datum a fixed number of schedule
+        // advances after its issue (the cross-lane address/data separation)
+        // and stalls — issuing nothing — when it is late.
+        let must_pop = issued >= popped + SEP;
+        let can_pop = !must_pop || (0..lanes).all(|l| state[0].can_pop_data(l));
+        let can_issue = (0..lanes).all(|l| state[0].can_push_addr(l));
+        if can_pop && can_issue {
+            if must_pop {
+                for lane in 0..lanes {
+                    state[0].pop_data(lane);
+                }
+                popped += 1;
+            }
+            for lane in 0..lanes {
+                state[0].push_addr(lane, rng.gen_range(0..total_records));
+            }
+            issued += 1;
+        }
+        // Sequential consumption: the driving kernel's natural II is 2
+        // (4 stream accesses per iteration on single-ported buffers), so
+        // each background stream consumes one word every other cycle.
+        if now % 2 == 0 {
+            for b in seq_buf.iter_mut() {
+                *b -= 1;
+            }
+        }
+        // Stage-1 arbitration: sequential streams needing a refill compete
+        // with the indexed group, round-robin.
+        let mut requesters: Vec<usize> = (0..3)
+            .filter(|&i| seq_buf[i] <= (8 - m as i64))
+            .collect();
+        if state[0].pending_addresses() {
+            requesters.push(3);
+        }
+        if let Some(&winner) = requesters
+            .iter()
+            .find(|&&r| r >= rr_grant)
+            .or(requesters.first())
+        {
+            rr_grant = (winner + 1) % 4;
+            if winner == 3 {
+                service_indexed(&mut state, &mut srf, now, &p, &mut rr, &mut traffic);
+            } else {
+                seq_buf[winner] = (seq_buf[winner] + m as i64).min(8);
+            }
+        }
+        // Keep the background streams from starving the measurement: they
+        // never stall the cluster in this micro-benchmark.
+        for b in seq_buf.iter_mut() {
+            *b = (*b).max(0);
+        }
+    }
+    popped as f64 / cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_throughput_rises_with_subarrays() {
+        let t1 = inlane_throughput(1, 8, 8, 2000);
+        let t2 = inlane_throughput(2, 8, 8, 2000);
+        let t4 = inlane_throughput(4, 8, 8, 2000);
+        let t8 = inlane_throughput(8, 8, 8, 2000);
+        assert!(t1 < t2 && t2 < t4 && t4 <= t8, "{t1} {t2} {t4} {t8}");
+        // One sub-array saturates near 1 word/cycle/lane; the paper's
+        // 4-sub-array point lands near 2.5-3.
+        assert!(t1 > 0.5 && t1 <= 1.01, "t1 = {t1}");
+        assert!(t4 > 1.8 && t4 < 3.5, "t4 = {t4}");
+    }
+
+    #[test]
+    fn fig17_throughput_rises_with_fifo_depth() {
+        let shallow = inlane_throughput(4, 1, 8, 2000);
+        let mid = inlane_throughput(4, 4, 8, 2000);
+        let deep = inlane_throughput(4, 8, 8, 2000);
+        assert!(shallow < mid && mid <= deep + 0.05, "{shallow} {mid} {deep}");
+    }
+
+    #[test]
+    fn fig17_short_separation_hurts() {
+        let s8 = inlane_throughput(4, 8, 8, 2000);
+        let s2 = inlane_throughput(4, 8, 2, 2000);
+        // The paper reports ~50% loss at separation 2.
+        assert!(s2 < 0.75 * s8, "sep2 {s2} vs sep8 {s8}");
+    }
+
+    #[test]
+    fn ring_topology_costs_throughput() {
+        // Section 7's sparse-interconnect question: a bisection-limited
+        // ring with hop latency must underperform the crossbar.
+        let xbar = crosslane_throughput_with_topology(4, 0, CrossLaneTopology::Crossbar, 3000);
+        let ring = crosslane_throughput_with_topology(4, 0, CrossLaneTopology::Ring, 3000);
+        assert!(ring < xbar, "ring {ring} vs crossbar {xbar}");
+        assert!(ring > 0.1, "the ring still makes progress: {ring}");
+    }
+
+    #[test]
+    fn fig18_ports_help_and_comm_hurts() {
+        let p1 = crosslane_throughput(1, 0, 3000);
+        let p2 = crosslane_throughput(2, 0, 3000);
+        let p4 = crosslane_throughput(4, 0, 3000);
+        assert!(p1 < p2, "{p1} {p2}");
+        assert!(p2 <= p4 + 0.02, "{p2} {p4}");
+        // Figure 18's range is roughly 0.3-0.55 words/cycle/lane.
+        assert!(p1 > 0.2 && p4 < 0.8, "{p1} {p4}");
+        // The paper's key claim (Section 5.4): across the whole occupancy
+        // range the throughput reduction stays at 20% or less — SRF
+        // contention, not inter-cluster traffic, dominates, so one shared
+        // network suffices. Our decoupling buffers hide the contention
+        // almost completely (see EXPERIMENTS.md).
+        let busy = crosslane_throughput(1, 80, 3000);
+        assert!(
+            busy >= 0.8 * p1,
+            "reduction exceeds the paper's 20% bound: {busy} vs {p1}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared vocabulary for the indexed-SRF stream processor reproduction.
+//!
+//! This crate holds the types that every other crate in the workspace speaks:
+//!
+//! * [`word`] — the 32-bit machine word and integer/float reinterpretation
+//!   helpers (stream processors in the Imagine line are 32-bit word machines).
+//! * [`config`] — the full machine description, including the four evaluation
+//!   configurations of the paper (Table 2/3): `Base`, `ISRF1`, `ISRF4` and
+//!   `Cache`.
+//! * [`stats`] — cycle accounting (the execution-time breakdown of Figure 12),
+//!   off-chip traffic counters (Figure 11) and SRF bandwidth counters
+//!   (Figure 13).
+//!
+//! # Example
+//!
+//! ```
+//! use isrf_core::config::{ConfigName, MachineConfig};
+//!
+//! let m = MachineConfig::preset(ConfigName::Isrf4);
+//! assert_eq!(m.lanes, 8);
+//! assert_eq!(m.srf.capacity_words(), 32 * 1024);
+//! assert_eq!(m.srf.indexed.as_ref().unwrap().inlane_words_per_cycle, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod stats;
+pub mod word;
+
+pub use config::{ConfigName, MachineConfig};
+pub use stats::{Breakdown, MemTraffic, RunStats, SrfTraffic};
+pub use word::Word;

@@ -1,0 +1,102 @@
+//! The 32-bit machine word.
+//!
+//! The simulated machine (like Imagine) operates on 32-bit words that may
+//! hold either a two's-complement integer or an IEEE-754 single-precision
+//! float. Data in the SRF, in stream buffers and in cluster registers is
+//! stored as raw [`Word`]s; arithmetic units reinterpret the bit pattern
+//! according to the opcode.
+
+/// A 32-bit machine word: the unit of SRF storage and datapath width.
+pub type Word = u32;
+
+/// Number of bytes in a [`Word`].
+pub const WORD_BYTES: u64 = 4;
+
+/// Reinterpret a word as a signed integer.
+///
+/// ```
+/// assert_eq!(isrf_core::word::as_i32(0xFFFF_FFFF), -1);
+/// ```
+#[inline]
+pub fn as_i32(w: Word) -> i32 {
+    w as i32
+}
+
+/// Reinterpret a signed integer as a word.
+///
+/// ```
+/// assert_eq!(isrf_core::word::from_i32(-1), 0xFFFF_FFFF);
+/// ```
+#[inline]
+pub fn from_i32(v: i32) -> Word {
+    v as u32
+}
+
+/// Reinterpret a word's bit pattern as an IEEE-754 single.
+///
+/// ```
+/// let w = isrf_core::word::from_f32(1.5);
+/// assert_eq!(isrf_core::word::as_f32(w), 1.5);
+/// ```
+#[inline]
+pub fn as_f32(w: Word) -> f32 {
+    f32::from_bits(w)
+}
+
+/// Reinterpret an IEEE-754 single as a word.
+#[inline]
+pub fn from_f32(v: f32) -> Word {
+    v.to_bits()
+}
+
+/// Truth encoding used by comparison ops: `1` for true, `0` for false.
+///
+/// ```
+/// assert_eq!(isrf_core::word::from_bool(true), 1);
+/// assert!(isrf_core::word::as_bool(2));
+/// assert!(!isrf_core::word::as_bool(0));
+/// ```
+#[inline]
+pub fn from_bool(b: bool) -> Word {
+    b as u32
+}
+
+/// Any non-zero word is treated as true (C-style).
+#[inline]
+pub fn as_bool(w: Word) -> bool {
+    w != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i32_roundtrip() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 123_456_789, -987_654_321] {
+            assert_eq!(as_i32(from_i32(v)), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(as_f32(from_f32(v)), v);
+        }
+    }
+
+    #[test]
+    fn f32_nan_bits_preserved() {
+        let bits = 0x7FC0_1234;
+        assert!(as_f32(bits).is_nan());
+        assert_eq!(from_f32(as_f32(bits)), bits);
+    }
+
+    #[test]
+    fn bool_encoding() {
+        assert_eq!(from_bool(true), 1);
+        assert_eq!(from_bool(false), 0);
+        assert!(as_bool(0xFFFF_FFFF));
+        assert!(!as_bool(0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Dependence-graph construction for kernel scheduling.
+//!
+//! Edges carry `(latency, distance)`: the consumer must issue at least
+//! `latency` cycles after the producer of `distance` iterations earlier,
+//! i.e. `slot(to) + II·distance ≥ slot(from) + latency`.
+//!
+//! Three edge families are built from a kernel:
+//!
+//! 1. **Data edges** from each operand reference, with the producer's
+//!    latency. The [`Opcode::IdxAddr`] → [`Opcode::IdxRead`] pairing edge
+//!    instead carries the configured *address/data separation* — the knob
+//!    the paper sweeps in Figures 14–16.
+//! 2. **Stream-order chains**: accesses to the same stream port must
+//!    execute in program order (they pop/push a FIFO), so consecutive
+//!    accesses are chained with latency 1.
+//! 3. **Wrap-around edges** closing each chain with `(latency 1,
+//!    distance 1)`, which forces all of one iteration's accesses to a
+//!    stream to issue before the next iteration's first access — keeping
+//!    FIFO order well-defined under software pipelining.
+
+use isrf_core::config::{OpLatencies, ScheduleConfig};
+
+use crate::ir::{Kernel, Opcode, StreamKind};
+
+/// A scheduling dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer op index.
+    pub from: usize,
+    /// Consumer op index.
+    pub to: usize,
+    /// Minimum issue-slot distance in cycles.
+    pub latency: u32,
+    /// Loop-carried distance in iterations.
+    pub distance: u32,
+}
+
+/// The dependence graph of one kernel under a latency model.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Number of ops.
+    pub n: usize,
+    /// All edges.
+    pub edges: Vec<DepEdge>,
+    succ_idx: Vec<Vec<usize>>,
+    pred_idx: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Build adjacency from an edge list.
+    pub fn from_edges(n: usize, edges: Vec<DepEdge>) -> Self {
+        let mut succ_idx = vec![Vec::new(); n];
+        let mut pred_idx = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            succ_idx[e.from].push(i);
+            pred_idx[e.to].push(i);
+        }
+        DepGraph {
+            n,
+            edges,
+            succ_idx,
+            pred_idx,
+        }
+    }
+
+    /// Outgoing edges of op `v`.
+    pub fn succs(&self, v: usize) -> impl Iterator<Item = &DepEdge> {
+        self.succ_idx[v].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Incoming edges of op `v`.
+    pub fn preds(&self, v: usize) -> impl Iterator<Item = &DepEdge> {
+        self.pred_idx[v].iter().map(move |&i| &self.edges[i])
+    }
+}
+
+/// Latency model: op latencies plus the address/data separations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Per-class op latencies.
+    pub ops: OpLatencies,
+    /// Inter-cluster network latency (for `Comm` and conditional streams).
+    pub comm_latency: u32,
+    /// In-lane indexed address/data separation, in cycles.
+    pub inlane_separation: u32,
+    /// Cross-lane indexed address/data separation, in cycles.
+    pub crosslane_separation: u32,
+}
+
+impl LatencyModel {
+    /// Model with the paper's Section 5.1 separations (6 and 20 cycles).
+    pub fn with_defaults(ops: OpLatencies, comm_latency: u32) -> Self {
+        let sched = ScheduleConfig::default();
+        LatencyModel {
+            ops,
+            comm_latency,
+            inlane_separation: sched.inlane_addr_data_separation,
+            crosslane_separation: sched.crosslane_addr_data_separation,
+        }
+    }
+
+    /// Issue-to-result latency of `opcode`.
+    pub fn latency(&self, opcode: Opcode) -> u32 {
+        use Opcode::*;
+        let l = &self.ops;
+        match opcode {
+            Const(_) | LaneId | LaneCount | IterId => 0,
+            Mov | Not | Neg | FNeg | IToF | FToI | Select => l.select,
+            Add | Sub | And | Or | Xor | Shl | Shr | Sra | Lt | Le | Eq | Ne | ULt | Min
+            | Max => l.int_alu,
+            Mul => l.int_mul,
+            Div | Rem => l.divide,
+            FAdd | FSub | FLt | FLe | FEq | FMin | FMax => l.fp_add,
+            FMul => l.fp_mul,
+            FDiv => l.divide,
+            SeqRead(_) | SeqWrite(_) | IdxRead(_) | IdxWrite(_) | IdxAddr(_) => l.sb_access,
+            CondRead(_) | CondLaneRead(_) | CondWrite(_) => self.comm_latency + l.sb_access,
+            ScratchRead | ScratchWrite => l.scratch,
+            Comm { .. } | CommXor { .. } => self.comm_latency,
+        }
+    }
+
+    /// Address/data separation for a stream of `kind`.
+    pub fn separation(&self, kind: StreamKind) -> u32 {
+        if kind.is_cross_lane() {
+            self.crosslane_separation
+        } else {
+            self.inlane_separation
+        }
+    }
+}
+
+/// Build the dependence graph of `kernel` under `model`.
+pub fn build_graph(kernel: &Kernel, model: &LatencyModel) -> DepGraph {
+    let mut edges = Vec::new();
+
+    // 1. Data edges.
+    for (i, op) in kernel.ops.iter().enumerate() {
+        for operand in &op.operands {
+            let from = operand.value.index();
+            let latency = if let Opcode::IdxRead(slot) = op.opcode {
+                // The address→data pairing edge carries the separation.
+                model.separation(kernel.stream(slot).kind)
+            } else {
+                model.latency(kernel.ops[from].opcode)
+            };
+            edges.push(DepEdge {
+                from,
+                to: i,
+                latency,
+                distance: operand.distance,
+            });
+        }
+    }
+
+    // 2 & 3. Stream-order chains and wrap-around edges. The scratchpad is
+    // stateful too, so its accesses are chained in program order likewise.
+    let scratch_chain: Vec<usize> = kernel
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op.opcode, Opcode::ScratchRead | Opcode::ScratchWrite))
+        .map(|(i, _)| i)
+        .collect();
+    let mut chains: Vec<Vec<usize>> = vec![scratch_chain];
+    for slot_idx in 0..kernel.streams.len() {
+        let slot = crate::ir::StreamSlot(slot_idx as u8);
+        chains.push(kernel.stream_data_ops(slot));
+        chains.push(kernel.stream_addr_ops(slot));
+    }
+    for chain in chains {
+        if chain.is_empty() {
+            continue;
+        }
+        for w in chain.windows(2) {
+            edges.push(DepEdge {
+                from: w[0],
+                to: w[1],
+                latency: 1,
+                distance: 0,
+            });
+        }
+        let (&first, &last) = (chain.first().unwrap(), chain.last().unwrap());
+        edges.push(DepEdge {
+            from: last,
+            to: first,
+            latency: 1,
+            distance: 1,
+        });
+    }
+
+    DepGraph::from_edges(kernel.ops.len(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{KernelBuilder, StreamKind, StreamSlot};
+
+    fn model() -> LatencyModel {
+        LatencyModel::with_defaults(OpLatencies::default(), 2)
+    }
+
+    #[test]
+    fn data_edges_carry_producer_latency() {
+        let mut b = KernelBuilder::new("k");
+        let s = b.stream("in", StreamKind::SeqIn);
+        let o = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(s);
+        let y = b.mul(x, x);
+        b.seq_write(o, y);
+        let k = b.build().unwrap();
+        let g = build_graph(&k, &model());
+        // mul consumes seq_read with sb latency 1.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.latency == 1 && e.distance == 0));
+        // write consumes mul with int_mul latency 4.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && e.latency == 4));
+    }
+
+    #[test]
+    fn idx_pairing_edge_uses_separation() {
+        let mut b = KernelBuilder::new("k");
+        let lut = b.stream("lut", StreamKind::IdxInRead);
+        let xt = b.stream("xt", StreamKind::IdxCrossRead);
+        let c = b.constant(3);
+        let a1 = b.idx_addr(lut, c);
+        let _d1 = b.idx_read(lut, a1);
+        let a2 = b.idx_addr(xt, c);
+        let _d2 = b.idx_read(xt, a2);
+        let k = b.build().unwrap();
+        let g = build_graph(&k, &model());
+        assert!(g.edges.iter().any(|e| e.from == 1 && e.to == 2 && e.latency == 6));
+        assert!(g.edges.iter().any(|e| e.from == 3 && e.to == 4 && e.latency == 20));
+    }
+
+    #[test]
+    fn stream_chains_and_wrap_edges() {
+        let mut b = KernelBuilder::new("k");
+        let s = b.stream("in", StreamKind::SeqIn);
+        let o = b.stream("out", StreamKind::SeqOut);
+        let x0 = b.seq_read(s);
+        let x1 = b.seq_read(s);
+        let y = b.add(x0, x1);
+        b.seq_write(o, y);
+        let k = b.build().unwrap();
+        let g = build_graph(&k, &model());
+        // Chain read0 -> read1 (latency 1, distance 0).
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 0 && e.to == 1 && e.latency == 1 && e.distance == 0));
+        // Wrap read1 -> read0 (latency 1, distance 1).
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 0 && e.latency == 1 && e.distance == 1));
+        // Single-op chain on the output gets a self wrap edge.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 3 && e.to == 3 && e.distance == 1));
+    }
+
+    #[test]
+    fn loop_carried_operand_distance_propagates() {
+        let mut b = KernelBuilder::new("k");
+        let s = b.stream("in", StreamKind::SeqIn);
+        let x = b.seq_read(s);
+        let acc = b.push(
+            Opcode::Add,
+            vec![
+                x.into(),
+                crate::ir::Operand::carried(crate::ir::ValueId(1), 1, 0),
+            ],
+        );
+        assert_eq!(acc.index(), 1);
+        let k = b.build().unwrap();
+        let g = build_graph(&k, &model());
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 1 && e.distance == 1 && e.latency == 2));
+    }
+
+    #[test]
+    fn succ_pred_iterators() {
+        let mut b = KernelBuilder::new("k");
+        let s = b.stream("in", StreamKind::SeqIn);
+        let x = b.seq_read(s);
+        let _y = b.add(x, x);
+        let k = b.build().unwrap();
+        let g = build_graph(&k, &model());
+        assert_eq!(g.succs(0).filter(|e| e.to == 1).count(), 2);
+        assert_eq!(g.preds(1).count(), 2);
+        let _ = StreamSlot(0);
+    }
+}

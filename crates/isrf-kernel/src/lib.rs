@@ -1,0 +1,51 @@
+//! Kernel IR and VLIW modulo scheduler for stream kernels.
+//!
+//! Stream kernels are SIMD inner loops executed by every compute cluster of
+//! the machine. This crate provides:
+//!
+//! * [`ir`] — the kernel intermediate representation: SSA ops over 32-bit
+//!   words, loop-carried operand references, stream access ops (sequential,
+//!   conditional, and indexed with split address-issue/data-read, mirroring
+//!   the paper's KernelC extensions in Section 4.7), and a builder API.
+//! * [`graph`] — dependence-graph construction, including the
+//!   address/data-separation edges the paper sweeps in Figures 14–16 and
+//!   the stream-ordering chains that keep FIFO semantics well-defined under
+//!   software pipelining.
+//! * [`sched`] — Rau-style iterative modulo scheduling with a modulo
+//!   reservation table (4 pipelined FUs + 1 unpipelined divider per
+//!   cluster, single-ported stream buffers and address FIFOs).
+//!
+//! # Example
+//!
+//! ```
+//! use isrf_core::config::{ConfigName, MachineConfig};
+//! use isrf_kernel::ir::{KernelBuilder, StreamKind};
+//! use isrf_kernel::sched::{schedule, SchedParams};
+//!
+//! // The table-lookup kernel of Figure 10.
+//! let mut b = KernelBuilder::new("lookup");
+//! let input = b.stream("in", StreamKind::SeqIn);
+//! let lut = b.stream("LUT", StreamKind::IdxInRead);
+//! let output = b.stream("out", StreamKind::SeqOut);
+//! let a = b.seq_read(input);
+//! let v = b.idx_load(lut, a);
+//! let c = b.add(a, v);
+//! b.seq_write(output, c);
+//! let kernel = b.build()?;
+//!
+//! let params = SchedParams::from_machine(&MachineConfig::preset(ConfigName::Isrf4));
+//! let sched = schedule(&kernel, &params)?;
+//! assert!(sched.ii >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod ir;
+pub mod sched;
+
+pub use graph::{DepEdge, DepGraph, LatencyModel};
+pub use ir::{Kernel, KernelBuilder, Op, Opcode, Operand, StreamKind, StreamSlot, ValueId};
+pub use sched::{schedule, SchedParams, Schedule, ScheduleError};

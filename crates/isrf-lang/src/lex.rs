@@ -1,0 +1,249 @@
+//! Lexer for the KernelC subset.
+
+use std::fmt;
+
+/// Error produced anywhere in the front-end, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        LangError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Token kinds of the subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f32),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Shl,    // <<  (also stream write)
+    Shr,    // >>  (also stream read)
+    Assign, // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Comma,
+    Semi,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenize `src`.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < b.len()
+                    && (b[i].is_ascii_digit()
+                        || b[i] == b'.'
+                        || b[i] == b'e'
+                        || b[i] == b'E'
+                        || ((b[i] == b'+' || b[i] == b'-')
+                            && i > start
+                            && (b[i - 1] == b'e' || b[i - 1] == b'E'))
+                        || b[i] == b'f'
+                        || b[i] == b'x'
+                        || (i > start + 1 && b[start + 1] == b'x' && b[i].is_ascii_hexdigit()))
+                {
+                    if b[i] == b'.' || b[i] == b'e' || b[i] == b'E' || b[i] == b'f' {
+                        is_float = b[start + 1] != b'x';
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    let t = text.trim_end_matches('f');
+                    Tok::Float(t.parse::<f32>().map_err(|_| {
+                        LangError::new(line, format!("bad float literal `{text}`"))
+                    })?)
+                } else if let Some(hex) = text.strip_prefix("0x") {
+                    Tok::Int(i64::from_str_radix(hex, 16).map_err(|_| {
+                        LangError::new(line, format!("bad hex literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(
+                        text.parse::<i64>().map_err(|_| {
+                            LangError::new(line, format!("bad int literal `{text}`"))
+                        })?,
+                    )
+                };
+                out.push(Token { tok, line });
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            '=' => Tok::Assign,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '&' => Tok::Amp,
+                            '|' => Tok::Pipe,
+                            '^' => Tok::Caret,
+                            '~' => Tok::Tilde,
+                            '!' => Tok::Bang,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            other => {
+                                return Err(LangError::new(
+                                    line,
+                                    format!("unexpected character `{other}`"),
+                                ))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_figure_10_tokens() {
+        let toks = lex("in >> a; LUT[a] >> b; out << c; // comment\n").unwrap();
+        assert!(toks.contains(&Token {
+            tok: Tok::Shr,
+            line: 1
+        }));
+        assert!(toks.contains(&Token {
+            tok: Tok::LBracket,
+            line: 1
+        }));
+        assert_eq!(toks.last().unwrap().tok, Tok::Semi);
+    }
+
+    #[test]
+    fn lexes_literals() {
+        let toks = lex("42 0x1f 1.5 2.0f 1e3").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(1.5),
+                Tok::Float(2.0),
+                Tok::Float(1000.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_lines_and_comments() {
+        let toks = lex("a\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! A KernelC-subset front-end (Section 4.7).
+//!
+//! The paper extends the Imagine KernelC language with indexed-stream
+//! types (Table 1) and array-style access syntax. This crate parses that
+//! subset and lowers it to the [`isrf_kernel`] IR, so the Figure 10
+//! example compiles and runs on the simulator:
+//!
+//! ```
+//! let src = r#"
+//! kernel lookup(
+//!     istream<int> in,
+//!     idxl_istream<int> LUT,
+//!     ostream<int> out) {
+//!   int a, b, c;
+//!   while (!eos(in)) {
+//!     in >> a;
+//!     LUT[a] >> b;
+//!     c = a + b;
+//!     out << c;
+//!   }
+//! }
+//! "#;
+//! let kernel = isrf_lang::parse_kernel(src)?;
+//! assert_eq!(kernel.name, "lookup");
+//! assert_eq!(kernel.streams.len(), 3);
+//! # Ok::<(), isrf_lang::LangError>(())
+//! ```
+//!
+//! Supported subset: `kernel` definitions with stream parameters
+//! (`istream`, `ostream`, `cistream`, `costream`, `clistream`,
+//! `idxl_istream`, `idxl_ostream`, `idx_istream`, element types `int` /
+//! `float`), local declarations, one `while (!eos(s))` loop containing
+//! stream reads/writes (plain, indexed and conditional), assignments, and
+//! integer/float expressions with the usual C operators, casts and the
+//! intrinsics `lane()`, `lanes()`, `iter()`, `select`, `min`, `max`.
+//!
+//! Variables read before their first in-loop assignment are loop-carried
+//! (distance 1, initialized to zero) — the KernelC idiom for accumulators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lex;
+mod lower;
+mod parse;
+
+pub use lex::LangError;
+pub use parse::ast;
+
+use isrf_kernel::ir::Kernel;
+
+/// Parse and lower one kernel definition.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] describing the first lexical, syntactic, type
+/// or lowering problem, with a line number.
+pub fn parse_kernel(src: &str) -> Result<Kernel, LangError> {
+    let tokens = lex::lex(src)?;
+    let ast = parse::parse(&tokens)?;
+    lower::lower(&ast)
+}

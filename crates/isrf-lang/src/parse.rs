@@ -1,0 +1,516 @@
+//! Recursive-descent parser for the KernelC subset.
+
+use crate::lex::{LangError, Tok, Token};
+
+/// Abstract syntax of the subset.
+pub mod ast {
+    /// Element type of a variable or stream.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Ty {
+        /// 32-bit signed integer.
+        Int,
+        /// 32-bit IEEE float.
+        Float,
+    }
+
+    /// Stream parameter kinds (Table 1 plus the sequential/conditional
+    /// kinds).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum StreamTy {
+        /// `istream<T>`.
+        SeqIn,
+        /// `ostream<T>`.
+        SeqOut,
+        /// `cistream<T>` — conditional input (\[16\]).
+        CondIn,
+        /// `costream<T>` — conditional output.
+        CondOut,
+        /// `clistream<T>` — per-lane conditional input.
+        CondLaneIn,
+        /// `idxl_istream<T>` — in-lane indexed read.
+        IdxInRead,
+        /// `idxl_ostream<T>` — in-lane indexed write.
+        IdxInWrite,
+        /// `idx_istream<T>` — cross-lane indexed read.
+        IdxCrossRead,
+    }
+
+    /// One stream parameter.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Param {
+        /// Stream kind.
+        pub stream_ty: StreamTy,
+        /// Element type.
+        pub elem: Ty,
+        /// Parameter name.
+        pub name: String,
+    }
+
+    /// Expressions.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Expr {
+        /// Integer literal.
+        Int(i64),
+        /// Float literal.
+        Float(f32),
+        /// Variable reference.
+        Var(String),
+        /// Unary op: `-`, `~`, `!`.
+        Unary(char, Box<Expr>),
+        /// Binary op (C spelling, e.g. "+", "<<", "<=").
+        Binary(&'static str, Box<Expr>, Box<Expr>),
+        /// Cast to a type: `(int) e` / `(float) e`.
+        Cast(Ty, Box<Expr>),
+        /// Intrinsic call: `lane()`, `lanes()`, `iter()`, `select(c,a,b)`,
+        /// `min(a,b)`, `max(a,b)`.
+        Call(String, Vec<Expr>),
+    }
+
+    /// Statements inside the loop.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Stmt {
+        /// `s >> v;` or, with a condition, `if (c) s >> v;` for
+        /// conditional streams.
+        Read {
+            /// Stream name.
+            stream: String,
+            /// Optional index expression (`s[i] >> v`).
+            index: Option<Expr>,
+            /// Optional condition (conditional streams).
+            cond: Option<Expr>,
+            /// Destination variable.
+            var: String,
+        },
+        /// `s << e;`, `s[i] << e;`, or `if (c) s << e;`.
+        Write {
+            /// Stream name.
+            stream: String,
+            /// Optional index expression.
+            index: Option<Expr>,
+            /// Optional condition.
+            cond: Option<Expr>,
+            /// Value written.
+            value: Expr,
+        },
+        /// `v = e;`.
+        Assign(String, Expr),
+    }
+
+    /// A parsed kernel.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct KernelDef {
+        /// Kernel name.
+        pub name: String,
+        /// Stream parameters in declaration order.
+        pub params: Vec<Param>,
+        /// Local declarations: name -> type.
+        pub locals: Vec<(String, Ty)>,
+        /// The stream controlling `while (!eos(s))`.
+        pub loop_stream: String,
+        /// Loop-body statements.
+        pub body: Vec<Stmt>,
+    }
+}
+
+use ast::*;
+
+struct P<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> Result<(), LangError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        let id = self.ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{id}`")))
+        }
+    }
+
+    fn elem_ty(&mut self) -> Result<Ty, LangError> {
+        let id = self.ident()?;
+        match id.as_str() {
+            "int" => Ok(Ty::Int),
+            "float" => Ok(Ty::Float),
+            other => Err(self.err(format!("unknown element type `{other}`"))),
+        }
+    }
+}
+
+/// Parse one kernel definition from a token stream.
+pub(crate) fn parse(toks: &[Token]) -> Result<KernelDef, LangError> {
+    let mut p = P { toks, pos: 0 };
+    p.eat_kw("kernel")?;
+    let name = p.ident()?;
+    p.eat(&Tok::LParen)?;
+    let mut params = Vec::new();
+    loop {
+        let kind = p.ident()?;
+        let stream_ty = match kind.as_str() {
+            "istream" => StreamTy::SeqIn,
+            "ostream" => StreamTy::SeqOut,
+            "cistream" => StreamTy::CondIn,
+            "costream" => StreamTy::CondOut,
+            "clistream" => StreamTy::CondLaneIn,
+            "idxl_istream" => StreamTy::IdxInRead,
+            "idxl_ostream" => StreamTy::IdxInWrite,
+            "idx_istream" => StreamTy::IdxCrossRead,
+            other => return Err(p.err(format!("unknown stream type `{other}`"))),
+        };
+        p.eat(&Tok::Lt)?;
+        let elem = p.elem_ty()?;
+        p.eat(&Tok::Gt)?;
+        let pname = p.ident()?;
+        params.push(Param {
+            stream_ty,
+            elem,
+            name: pname,
+        });
+        match p.next() {
+            Some(Tok::Comma) => continue,
+            Some(Tok::RParen) => break,
+            other => return Err(p.err(format!("expected `,` or `)`, found {other:?}"))),
+        }
+    }
+    p.eat(&Tok::LBrace)?;
+
+    // Local declarations: `int a, b;` / `float x;` until `while`.
+    let mut locals = Vec::new();
+    while let Some(Tok::Ident(id)) = p.peek() {
+        if id == "while" {
+            break;
+        }
+        let ty = p.elem_ty()?;
+        loop {
+            let n = p.ident()?;
+            locals.push((n, ty));
+            match p.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::Semi) => break,
+                other => return Err(p.err(format!("expected `,` or `;`, found {other:?}"))),
+            }
+        }
+    }
+
+    // while (!eos(s)) { body }
+    p.eat_kw("while")?;
+    p.eat(&Tok::LParen)?;
+    p.eat(&Tok::Bang)?;
+    p.eat_kw("eos")?;
+    p.eat(&Tok::LParen)?;
+    let loop_stream = p.ident()?;
+    p.eat(&Tok::RParen)?;
+    p.eat(&Tok::RParen)?;
+    p.eat(&Tok::LBrace)?;
+
+    let mut body = Vec::new();
+    while p.peek() != Some(&Tok::RBrace) {
+        body.push(stmt(&mut p)?);
+    }
+    p.eat(&Tok::RBrace)?;
+    p.eat(&Tok::RBrace)?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens after kernel"));
+    }
+    Ok(KernelDef {
+        name,
+        params,
+        locals,
+        loop_stream,
+        body,
+    })
+}
+
+fn stmt(p: &mut P) -> Result<Stmt, LangError> {
+    // Optional `if (cond)` prefix for conditional stream access.
+    let mut cond = None;
+    if let Some(Tok::Ident(id)) = p.peek() {
+        if id == "if" {
+            p.pos += 1;
+            p.eat(&Tok::LParen)?;
+            cond = Some(expr(p)?);
+            p.eat(&Tok::RParen)?;
+        }
+    }
+    let name = p.ident()?;
+    // s[expr] >> v / << e, s >> v / << e, or v = e.
+    let index = if p.peek() == Some(&Tok::LBracket) {
+        p.pos += 1;
+        let e = expr(p)?;
+        p.eat(&Tok::RBracket)?;
+        Some(e)
+    } else {
+        None
+    };
+    match p.next() {
+        Some(Tok::Shr) => {
+            let var = p.ident()?;
+            p.eat(&Tok::Semi)?;
+            Ok(Stmt::Read {
+                stream: name,
+                index,
+                cond,
+                var,
+            })
+        }
+        Some(Tok::Shl) => {
+            let value = expr(p)?;
+            p.eat(&Tok::Semi)?;
+            Ok(Stmt::Write {
+                stream: name,
+                index,
+                cond,
+                value,
+            })
+        }
+        Some(Tok::Assign) if index.is_none() && cond.is_none() => {
+            let e = expr(p)?;
+            p.eat(&Tok::Semi)?;
+            Ok(Stmt::Assign(name, e))
+        }
+        other => Err(p.err(format!("expected `>>`, `<<` or `=`, found {other:?}"))),
+    }
+}
+
+// Precedence climbing: | ^ & (== !=) (< <= > >=) (<< >>) (+ -) (* / %) unary.
+fn expr(p: &mut P) -> Result<Expr, LangError> {
+    binary(p, 0)
+}
+
+const LEVELS: [&[&str]; 7] = [
+    &["|"],
+    &["^"],
+    &["&"],
+    &["==", "!="],
+    &["<", "<=", ">", ">="],
+    &["+", "-"],
+    &["*", "/", "%"],
+];
+
+fn op_of(tok: &Tok) -> Option<&'static str> {
+    Some(match tok {
+        Tok::Pipe => "|",
+        Tok::Caret => "^",
+        Tok::Amp => "&",
+        Tok::EqEq => "==",
+        Tok::Ne => "!=",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::Slash => "/",
+        Tok::Percent => "%",
+        Tok::Shl => "<<",
+        Tok::Shr => ">>",
+        _ => return None,
+    })
+}
+
+fn binary(p: &mut P, level: usize) -> Result<Expr, LangError> {
+    if level >= LEVELS.len() {
+        return unary(p);
+    }
+    let mut lhs = binary(p, level + 1)?;
+    while let Some(op) = p.peek().and_then(op_of) {
+        // `<<`/`>>` are reserved for stream I/O statements; shifts are
+        // spelled as the intrinsic-free binary ops only inside parens is
+        // ambiguous, so we simply don't treat them as expression operators.
+        if !LEVELS[level].contains(&op) {
+            break;
+        }
+        p.pos += 1;
+        let rhs = binary(p, level + 1)?;
+        lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn unary(p: &mut P) -> Result<Expr, LangError> {
+    match p.peek() {
+        Some(Tok::Minus) => {
+            p.pos += 1;
+            Ok(Expr::Unary('-', Box::new(unary(p)?)))
+        }
+        Some(Tok::Tilde) => {
+            p.pos += 1;
+            Ok(Expr::Unary('~', Box::new(unary(p)?)))
+        }
+        Some(Tok::Bang) => {
+            p.pos += 1;
+            Ok(Expr::Unary('!', Box::new(unary(p)?)))
+        }
+        _ => primary(p),
+    }
+}
+
+fn primary(p: &mut P) -> Result<Expr, LangError> {
+    match p.next() {
+        Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+        Some(Tok::Float(v)) => Ok(Expr::Float(v)),
+        Some(Tok::LParen) => {
+            // Cast `(int) e` / `(float) e`, or parenthesized expression.
+            if let Some(Tok::Ident(id)) = p.peek() {
+                if id == "int" || id == "float" {
+                    let ty = if id == "int" { Ty::Int } else { Ty::Float };
+                    p.pos += 1;
+                    p.eat(&Tok::RParen)?;
+                    return Ok(Expr::Cast(ty, Box::new(unary(p)?)));
+                }
+            }
+            let e = expr(p)?;
+            p.eat(&Tok::RParen)?;
+            Ok(e)
+        }
+        Some(Tok::Ident(id)) => {
+            if p.peek() == Some(&Tok::LParen) {
+                p.pos += 1;
+                let mut args = Vec::new();
+                if p.peek() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(expr(p)?);
+                        match p.next() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            other => {
+                                return Err(
+                                    p.err(format!("expected `,` or `)`, found {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                } else {
+                    p.pos += 1;
+                }
+                Ok(Expr::Call(id, args))
+            } else {
+                Ok(Expr::Var(id))
+            }
+        }
+        other => Err(p.err(format!("expected expression, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse_src(src: &str) -> Result<KernelDef, LangError> {
+        parse(&lex(src).unwrap())
+    }
+
+    const FIG10: &str = r#"
+kernel lookup(
+    istream<int> in,
+    idxl_istream<int> LUT,
+    ostream<int> out) {
+  int a, b, c;
+  while (!eos(in)) {
+    in >> a;
+    LUT[a] >> b;
+    c = a + b;
+    out << c;
+  }
+}
+"#;
+
+    #[test]
+    fn parses_figure_10() {
+        let k = parse_src(FIG10).unwrap();
+        assert_eq!(k.name, "lookup");
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(k.params[1].stream_ty, StreamTy::IdxInRead);
+        assert_eq!(k.locals.len(), 3);
+        assert_eq!(k.loop_stream, "in");
+        assert_eq!(k.body.len(), 4);
+        assert!(matches!(
+            &k.body[1],
+            Stmt::Read {
+                stream,
+                index: Some(_),
+                ..
+            } if stream == "LUT"
+        ));
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let k = parse_src(
+            "kernel k(istream<int> a, ostream<int> o) { int x; \
+             while (!eos(a)) { a >> x; o << x + 2 * 3 & 7; } }",
+        )
+        .unwrap();
+        let Stmt::Write { value, .. } = &k.body[1] else {
+            panic!("expected write");
+        };
+        // & binds loosest: (x + (2*3)) & 7.
+        assert!(matches!(value, Expr::Binary("&", _, _)));
+    }
+
+    #[test]
+    fn parses_conditional_access_and_casts() {
+        let k = parse_src(
+            "kernel k(clistream<int> a, ostream<float> o) { int c; float x; \
+             while (!eos(a)) { if (c == 0) a >> c; x = (float) c; o << x; } }",
+        )
+        .unwrap();
+        assert!(matches!(&k.body[0], Stmt::Read { cond: Some(_), .. }));
+        assert!(matches!(
+            &k.body[1],
+            Stmt::Assign(_, Expr::Cast(Ty::Float, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_stream_type() {
+        assert!(parse_src("kernel k(wstream<int> a) { while (!eos(a)) { } }").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse_src("kernel k(istream<int> a)\n{\nint x\n}").unwrap_err();
+        assert!(e.line >= 3, "line {}", e.line);
+    }
+}

@@ -1,0 +1,260 @@
+//! The on-chip vector cache of the `Cache` configuration (Table 3).
+//!
+//! Organization: 128 KB, 4-way set associative, 4 independent banks,
+//! 2-word (8-byte) lines, LRU replacement, write-allocate/write-back.
+//! Short lines follow the vector-cache studies the paper cites (\[22, 23\]):
+//! with little spatial locality in gathered streams, long lines waste
+//! bandwidth.
+//!
+//! The cache is a *timing and traffic* model: data lives in
+//! [`crate::memory::Memory`]; the cache tracks only tags, so a probe
+//! reports hit/miss and any dirty eviction, which the memory system turns
+//! into DRAM traffic.
+
+use isrf_core::config::CacheConfig;
+
+/// Result of one word-granularity cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// The word was present (no DRAM fill needed).
+    pub hit: bool,
+    /// A dirty line was evicted (DRAM writeback needed).
+    pub writeback: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Tag-only simulation of the banked, set-associative vector cache.
+#[derive(Debug, Clone)]
+pub struct VectorCache {
+    line_words: usize,
+    banks: usize,
+    sets_per_bank: usize,
+    ways: usize,
+    /// `sets[bank][set][way]`.
+    sets: Vec<Vec<Vec<Line>>>,
+    use_counter: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl VectorCache {
+    /// Build a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero-sized parameters (use
+    /// [`isrf_core::MachineConfig::validate`] first).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets_per_bank = cfg.sets_per_bank();
+        assert!(sets_per_bank > 0, "cache must have at least one set");
+        VectorCache {
+            line_words: cfg.line_words,
+            banks: cfg.banks,
+            sets_per_bank,
+            ways: cfg.associativity,
+            sets: vec![vec![vec![Line::default(); cfg.associativity]; sets_per_bank]; cfg.banks],
+            use_counter: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> usize {
+        self.line_words
+    }
+
+    /// Set associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all probes (0 if never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Which bank serves `word_addr` (line-interleaved across banks).
+    pub fn bank_of(&self, word_addr: u32) -> usize {
+        let line = word_addr as usize / self.line_words;
+        line % self.banks
+    }
+
+    /// Probe (and update) the cache for a word access.
+    ///
+    /// On a miss the line is allocated (write-allocate for stores), evicting
+    /// the LRU way; the result reports whether the victim was dirty.
+    pub fn probe(&mut self, word_addr: u32, write: bool) -> ProbeResult {
+        let line_addr = word_addr as usize / self.line_words;
+        let bank = line_addr % self.banks;
+        let set_idx = (line_addr / self.banks) % self.sets_per_bank;
+        let tag = (line_addr / self.banks / self.sets_per_bank) as u32;
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let set = &mut self.sets[bank][set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = counter;
+            line.dirty |= write;
+            self.hits += 1;
+            return ProbeResult {
+                hit: true,
+                writeback: false,
+            };
+        }
+
+        // Miss: evict LRU (invalid lines have lru 0 and win).
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache sets are non-empty");
+        let writeback = victim.valid && victim.dirty;
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: counter,
+        };
+        ProbeResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Invalidate all contents and reset statistics.
+    pub fn flush(&mut self) {
+        for bank in &mut self.sets {
+            for set in bank {
+                for line in set {
+                    *line = Line::default();
+                }
+            }
+        }
+        self.use_counter = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> VectorCache {
+        // 4 banks * 2 sets * 2 ways * 2-word lines = 32 words.
+        VectorCache::new(&CacheConfig {
+            capacity_bytes: 32 * 4,
+            associativity: 2,
+            banks: 4,
+            line_words: 2,
+            peak_gbytes_per_sec: 16.0,
+            hit_latency: 8,
+        })
+    }
+
+    #[test]
+    fn paper_cache_geometry() {
+        let c = VectorCache::new(&CacheConfig::default());
+        assert_eq!(c.sets_per_bank, 1024);
+        assert_eq!(c.ways(), 4);
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = small_cache();
+        assert!(!c.probe(0, false).hit);
+        assert!(c.probe(0, false).hit);
+        assert!(c.probe(1, false).hit, "same 2-word line");
+        assert!(!c.probe(2, false).hit, "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn line_interleaving_across_banks() {
+        let c = small_cache();
+        assert_eq!(c.bank_of(0), 0);
+        assert_eq!(c.bank_of(1), 0);
+        assert_eq!(c.bank_of(2), 1);
+        assert_eq!(c.bank_of(8), 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small_cache();
+        // All these map to bank 0, set 0: line addresses 0, 8, 16 (stride
+        // banks*sets*line_words = 16 words).
+        c.probe(0, false);
+        c.probe(16, false);
+        c.probe(0, false); // touch 0 again so 16 is LRU
+        c.probe(32, false); // evicts 16
+        assert!(c.probe(0, false).hit);
+        assert!(!c.probe(16, false).hit, "16 was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.probe(0, true); // dirty
+        c.probe(16, false);
+        let r = c.probe(32, false); // evicts line 0 (LRU, dirty)
+        assert!(!r.hit);
+        assert!(r.writeback);
+        // Clean eviction does not write back.
+        let r = c.probe(48, false);
+        assert!(!r.writeback);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_cache();
+        c.probe(0, false);
+        c.probe(0, true); // hit, now dirty
+        c.probe(16, false);
+        let r = c.probe(32, false); // evict line 0
+        assert!(r.writeback);
+    }
+
+    #[test]
+    fn flush_resets() {
+        let mut c = small_cache();
+        c.probe(0, true);
+        c.flush();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.probe(0, false).hit);
+        assert!(!c.probe(32, false).writeback, "dirty state cleared");
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = small_cache();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.probe(0, false);
+        c.probe(0, false);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

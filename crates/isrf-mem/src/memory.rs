@@ -1,0 +1,158 @@
+//! Functional off-chip memory: a flat, word-addressed store.
+//!
+//! Timing is modelled separately by [`crate::system::MemorySystem`]; this
+//! type only holds data. Addresses are word addresses (not bytes), matching
+//! the 32-bit word machine.
+
+use isrf_core::Word;
+
+/// A flat, word-addressed functional memory.
+///
+/// Memory grows on demand up to a fixed maximum so benchmarks can lay out
+/// data without preallocating an address-space-sized vector.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    words: Vec<Word>,
+}
+
+impl Memory {
+    /// Maximum supported word address (64 M words = 256 MB), a guard
+    /// against runaway addresses from buggy kernels.
+    pub const MAX_WORDS: usize = 64 << 20;
+
+    /// Create an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of words currently backed (high-water mark of writes).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn ensure(&mut self, addr: u32) {
+        let addr = addr as usize;
+        assert!(addr < Self::MAX_WORDS, "word address {addr:#x} out of range");
+        if addr >= self.words.len() {
+            self.words.resize(addr + 1, 0);
+        }
+    }
+
+    /// Read the word at `addr` (unwritten locations read as zero).
+    #[inline]
+    pub fn read(&self, addr: u32) -> Word {
+        self.words.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Write `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds [`Memory::MAX_WORDS`].
+    #[inline]
+    pub fn write(&mut self, addr: u32, value: Word) {
+        self.ensure(addr);
+        self.words[addr as usize] = value;
+    }
+
+    /// Read `data.len()` consecutive words starting at `base`.
+    pub fn read_block_into(&self, base: u32, data: &mut [Word]) {
+        for (i, d) in data.iter_mut().enumerate() {
+            *d = self.read(base + i as u32);
+        }
+    }
+
+    /// Read `count` consecutive words starting at `base`.
+    pub fn read_block(&self, base: u32, count: usize) -> Vec<Word> {
+        let mut v = vec![0; count];
+        self.read_block_into(base, &mut v);
+        v
+    }
+
+    /// Write a block of consecutive words starting at `base`.
+    pub fn write_block(&mut self, base: u32, data: &[Word]) {
+        if let Some(last) = data.len().checked_sub(1) {
+            self.ensure(base + last as u32);
+            let b = base as usize;
+            self.words[b..b + data.len()].copy_from_slice(data);
+        }
+    }
+
+    /// Gather the words at the given addresses, in order.
+    pub fn gather(&self, addrs: &[u32]) -> Vec<Word> {
+        addrs.iter().map(|&a| self.read(a)).collect()
+    }
+
+    /// Scatter `data[i]` to `addrs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn scatter(&mut self, addrs: &[u32], data: &[Word]) {
+        assert_eq!(addrs.len(), data.len(), "scatter length mismatch");
+        for (&a, &d) in addrs.iter().zip(data) {
+            self.write(a, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(12345), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = Memory::new();
+        m.write(10, 42);
+        assert_eq!(m.read(10), 42);
+        assert_eq!(m.read(9), 0);
+        assert_eq!(m.len(), 11);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut m = Memory::new();
+        m.write_block(100, &[1, 2, 3]);
+        assert_eq!(m.read_block(99, 5), [0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn empty_block_write_is_noop() {
+        let mut m = Memory::new();
+        m.write_block(5, &[]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn gather_scatter() {
+        let mut m = Memory::new();
+        m.scatter(&[5, 1, 9], &[50, 10, 90]);
+        assert_eq!(m.gather(&[9, 5, 1, 0]), [90, 50, 10, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter length mismatch")]
+    fn scatter_length_mismatch_panics() {
+        let mut m = Memory::new();
+        m.scatter(&[1, 2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut m = Memory::new();
+        m.write(u32::MAX, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the memory system: traffic accounting, functional
+//! gather/scatter consistency, and bandwidth bounds.
+
+use isrf_core::config::{ConfigName, MachineConfig};
+use isrf_mem::{AddrPattern, MemorySystem};
+use proptest::prelude::*;
+
+fn finish(sys: &mut MemorySystem, id: isrf_mem::TransferId) -> u64 {
+    let start = sys.now();
+    while !sys.is_complete(id) {
+        sys.tick();
+        assert!(sys.now() - start < 1_000_000, "transfer stuck");
+    }
+    sys.now() - start
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Demand traffic counts exactly 4 bytes per word, reads round-trip
+    /// memory contents, and serve time respects the bandwidth bound.
+    #[test]
+    fn gather_roundtrip_and_accounting(
+        addrs in prop::collection::vec(0u32..100_000, 1..300),
+        burst in 1u32..8,
+    ) {
+        let mut cfg = MachineConfig::preset(ConfigName::Base);
+        cfg.dram.burst_words = burst;
+        let mut sys = MemorySystem::new(&cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            sys.memory_mut().write(a, i as u32 ^ 0xABCD);
+        }
+        let (id, data) = sys.start_read(AddrPattern::Indexed(addrs.clone()), false);
+        // Functional: last write to each address wins.
+        for (i, &a) in addrs.iter().enumerate() {
+            let last = addrs.iter().rposition(|&x| x == a).unwrap();
+            prop_assert_eq!(data[i], last as u32 ^ 0xABCD);
+        }
+        let cycles = finish(&mut sys, id);
+        prop_assert_eq!(sys.traffic().bytes_read, addrs.len() as u64 * 4);
+        // Bandwidth bound: at most ~2.285 demand words per cycle.
+        let serve = cycles.saturating_sub(cfg.dram.latency_cycles as u64).max(1);
+        prop_assert!(addrs.len() as f64 / serve as f64 <= 2.4);
+    }
+
+    /// Scatter then contiguous read-back returns what was written.
+    #[test]
+    fn scatter_then_readback(
+        base in 0u32..1000,
+        data in prop::collection::vec(any::<u32>(), 1..200),
+    ) {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let mut sys = MemorySystem::new(&cfg);
+        let n = data.len() as u32;
+        let addrs: Vec<u32> = (0..n).map(|i| base + i * 3).collect();
+        let w = sys.start_write(AddrPattern::Indexed(addrs.clone()), &data, false);
+        finish(&mut sys, w);
+        let (r, got) = sys.start_read(AddrPattern::Indexed(addrs), false);
+        prop_assert_eq!(got, data);
+        finish(&mut sys, r);
+        prop_assert_eq!(sys.traffic().bytes_written, n as u64 * 4);
+    }
+
+    /// Cached re-reads never increase DRAM read traffic beyond the
+    /// footprint's worth of line fills, and cache hits are real.
+    #[test]
+    fn cache_traffic_bounded_by_footprint(
+        words in 1u32..2000,
+        passes in 2u32..4,
+    ) {
+        let cfg = MachineConfig::preset(ConfigName::Cache);
+        let mut sys = MemorySystem::new(&cfg);
+        for _ in 0..passes {
+            let (id, _) = sys.start_read(AddrPattern::contiguous(0, words), true);
+            finish(&mut sys, id);
+        }
+        let line = cfg.cache.as_ref().unwrap().line_words as u64;
+        let lines = (words as u64).div_ceil(line);
+        prop_assert_eq!(sys.traffic().bytes_read, lines * line * 4);
+        prop_assert!(sys.cache().unwrap().hits() > 0);
+    }
+}

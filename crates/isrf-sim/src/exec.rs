@@ -1,0 +1,699 @@
+//! SIMD kernel execution: functional + timing.
+//!
+//! A [`KernelRun`] executes one kernel invocation: all clusters run the
+//! modulo-scheduled loop in lock-step under a single sequencer (as in
+//! Imagine), with `ceil(span/II)` iterations in flight. Each machine cycle
+//! the run:
+//!
+//! 1. lands arrived indexed data into stream buffers,
+//! 2. performs stage-1 SRF port arbitration (one sequential stream *or*
+//!    all indexed streams, round-robin among requesters; memory transfers
+//!    pre-empt),
+//! 3. attempts to fire every op scheduled at the current kernel cycle for
+//!    every in-flight iteration. If *any* lane of *any* op cannot proceed —
+//!    stream buffer empty/full, address FIFO full, indexed data not yet
+//!    returned, conditional-stream coordination — the whole machine stalls
+//!    for the cycle (`SRF stall`), and the port keeps servicing buffers in
+//!    the background.
+//!
+//! After the last iteration fires, output buffers and indexed write FIFOs
+//! drain ("flush"), which the machine accounts as kernel overhead along
+//! with software-pipeline fill/drain.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use isrf_core::config::MachineConfig;
+use isrf_core::stats::SrfTraffic;
+use isrf_core::{word, Word};
+use isrf_kernel::ir::{Kernel, Opcode, StreamKind};
+use isrf_kernel::sched::Schedule;
+
+use crate::indexed::{service_indexed, IdxKind, IdxParams, IdxState};
+use crate::srf::Srf;
+use crate::stream::{CondInState, CondOutState, SeqInState, SeqOutState, StreamBinding};
+
+/// Per-slot runtime state.
+#[derive(Debug)]
+enum SlotState {
+    SeqIn(SeqInState),
+    SeqOut(SeqOutState),
+    CondIn(CondInState),
+    /// Per-lane conditional substreams share the sequential-input state;
+    /// only the pop condition and the network cost differ.
+    CondLaneIn(SeqInState),
+    CondOut(CondOutState),
+    /// Index into `KernelRun::idx_states`.
+    Idx(usize),
+}
+
+/// What a [`KernelRun::tick`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The kernel advanced one cycle of its schedule.
+    Advanced,
+    /// The kernel stalled on an SRF condition.
+    Stalled,
+    /// All iterations fired; output buffers are draining.
+    Flushing,
+    /// Everything (including drains) is complete.
+    Done,
+}
+
+/// One kernel invocation in progress.
+#[derive(Debug)]
+pub struct KernelRun {
+    kernel: Rc<Kernel>,
+    sched: Schedule,
+    iters: u64,
+    lanes: usize,
+    m_words: usize,
+    seq_latency: u64,
+    slots: Vec<SlotState>,
+    idx_states: Vec<IdxState>,
+    idx_params: Option<IdxParams>,
+    /// Kernel-local cycle (advances only on non-stall cycles).
+    t: u64,
+    ops_by_slot: Vec<Vec<usize>>,
+    /// Value contexts for in-flight iterations: `ctxs[j - ctx_base]` holds
+    /// `ops × lanes` words.
+    ctx_base: u64,
+    ctxs: VecDeque<Vec<Word>>,
+    max_dist: u32,
+    comm_busy_prev: bool,
+    /// Per-lane staging for conditional-stream distribution within a cycle.
+    cond_scratch: Vec<Word>,
+    rr_grant: usize,
+    rr_idx: usize,
+    /// Cycles in which the schedule advanced.
+    pub advance_cycles: u64,
+    /// Cycles stalled on SRF conditions.
+    pub stall_cycles: u64,
+    /// Consecutive stall cycles (deadlock watchdog).
+    consecutive_stalls: u64,
+    /// Cycles spent draining outputs after the last fire.
+    pub flush_cycles: u64,
+}
+
+impl KernelRun {
+    /// Bind `kernel` (already scheduled) to machine streams and prepare to
+    /// execute `iters` iterations per cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bindings.len()` differs from the kernel's stream count,
+    /// if an indexed stream is used on a machine without indexed-SRF
+    /// support, or if an indexed *write* binding has multi-word records
+    /// (write addresses are word-granular).
+    pub fn new(
+        cfg: &MachineConfig,
+        kernel: Rc<Kernel>,
+        sched: Schedule,
+        bindings: Vec<StreamBinding>,
+        iters: u64,
+    ) -> Self {
+        assert_eq!(
+            bindings.len(),
+            kernel.streams.len(),
+            "kernel `{}` declares {} streams, got {} bindings",
+            kernel.name,
+            kernel.streams.len(),
+            bindings.len()
+        );
+        let lanes = cfg.lanes;
+        let cap = cfg.srf.stream_buffer_words;
+        let mut slots = Vec::new();
+        let mut idx_states = Vec::new();
+        for (decl, b) in kernel.streams.iter().zip(&bindings) {
+            let state = match decl.kind {
+                StreamKind::SeqIn => SlotState::SeqIn(SeqInState::new(*b, lanes, cap)),
+                StreamKind::SeqOut => SlotState::SeqOut(SeqOutState::new(*b, lanes, cap)),
+                StreamKind::CondIn => SlotState::CondIn(CondInState::new(*b, lanes, cap)),
+                StreamKind::CondLaneIn => {
+                    SlotState::CondLaneIn(SeqInState::new(*b, lanes, cap))
+                }
+                StreamKind::CondOut => SlotState::CondOut(CondOutState::new(*b, lanes, cap)),
+                StreamKind::IdxInRead | StreamKind::IdxInWrite | StreamKind::IdxCrossRead => {
+                    let kind = match decl.kind {
+                        StreamKind::IdxInRead => IdxKind::InLaneRead,
+                        StreamKind::IdxInWrite => IdxKind::InLaneWrite,
+                        _ => IdxKind::CrossLaneRead,
+                    };
+                    if kind == IdxKind::InLaneWrite {
+                        assert_eq!(
+                            b.record_words, 1,
+                            "indexed write streams use word-granular addresses"
+                        );
+                    }
+                    idx_states.push(IdxState::new(*b, kind, lanes, cfg));
+                    SlotState::Idx(idx_states.len() - 1)
+                }
+            };
+            slots.push(state);
+        }
+        let mut ops_by_slot = vec![Vec::new(); sched.span as usize];
+        for (i, &s) in sched.slots.iter().enumerate() {
+            ops_by_slot[s as usize].push(i);
+        }
+        let max_dist = kernel
+            .ops
+            .iter()
+            .flat_map(|o| o.operands.iter().map(|p| p.distance))
+            .max()
+            .unwrap_or(0);
+        KernelRun {
+            iters,
+            lanes,
+            m_words: cfg.srf.words_per_seq_access,
+            seq_latency: cfg.srf.seq_latency as u64,
+            slots,
+            idx_states,
+            idx_params: cfg.srf.indexed.as_ref().map(|_| IdxParams::from_machine(cfg)),
+            t: 0,
+            ops_by_slot,
+            ctx_base: 0,
+            ctxs: VecDeque::new(),
+            max_dist,
+            comm_busy_prev: false,
+            cond_scratch: vec![0; lanes],
+            rr_grant: 0,
+            rr_idx: 0,
+            advance_cycles: 0,
+            stall_cycles: 0,
+            consecutive_stalls: 0,
+            flush_cycles: 0,
+            kernel,
+            sched,
+        }
+    }
+
+    /// The schedule this run executes.
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// Iterations per cluster.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+
+    /// Steady-state loop-body cycles (`iters × II`).
+    pub fn body_cycles(&self) -> u64 {
+        self.iters * self.sched.ii as u64
+    }
+
+    fn exec_end(&self) -> u64 {
+        if self.iters == 0 {
+            0
+        } else {
+            (self.iters - 1) * self.sched.ii as u64 + self.sched.completion as u64
+        }
+    }
+
+    /// All iterations fired and results produced?
+    pub fn exec_done(&self) -> bool {
+        self.t >= self.exec_end()
+    }
+
+    /// Fully complete, including output drains?
+    pub fn is_done(&self) -> bool {
+        self.exec_done()
+            && self.idx_states.iter().all(|s| s.drained())
+            && self.slots.iter().all(|s| match s {
+                SlotState::SeqOut(o) => o.drained(),
+                SlotState::CondOut(o) => o.drained(),
+                _ => true,
+            })
+    }
+
+    /// Advance one machine cycle at time `now`. `scratch` is the machine's
+    /// persistent per-lane scratchpad storage.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        srf: &mut Srf,
+        scratch: &mut [Vec<Word>],
+        mem_claims_port: bool,
+        traffic: &mut SrfTraffic,
+    ) -> Phase {
+        // Cross-lane returns share the inter-cluster network: explicit
+        // communications (last cycle's) have priority and leave fewer
+        // return slots.
+        let mut return_budget = if self.comm_busy_prev {
+            self.lanes.saturating_sub(2)
+        } else {
+            self.lanes
+        };
+        for s in &mut self.idx_states {
+            if s.kind == IdxKind::CrossLaneRead {
+                s.tick_arrivals_budgeted(now, &mut return_budget);
+            } else {
+                s.tick_arrivals(now);
+            }
+        }
+        if !mem_claims_port {
+            self.arbitration(now, srf, traffic);
+        }
+        if self.exec_done() {
+            if self.is_done() {
+                return Phase::Done;
+            }
+            self.flush_cycles += 1;
+            return Phase::Flushing;
+        }
+        let advanced = self.fire_cycle(now, scratch);
+        if advanced {
+            self.t += 1;
+            self.advance_cycles += 1;
+            self.consecutive_stalls = 0;
+            Phase::Advanced
+        } else {
+            self.stall_cycles += 1;
+            self.consecutive_stalls += 1;
+            assert!(
+                self.consecutive_stalls < 1_000_000,
+                "kernel `{}` stalled for 1M consecutive cycles — likely an                  indexed stream needs more outstanding records per iteration                  than its address FIFO + stream buffer can hold; split the                  accesses across more indexed streams",
+                self.kernel.name
+            );
+            Phase::Stalled
+        }
+    }
+
+    /// Stage-1 arbitration: one sequential/conditional stream or all
+    /// indexed streams get the port this cycle.
+    fn arbitration(&mut self, now: u64, srf: &mut Srf, traffic: &mut SrfTraffic) {
+        let flush = self.exec_done();
+        let block = self.lanes * self.m_words;
+        let idx_group = self.slots.len();
+        let mut requesters: Vec<usize> = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            let wants = match s {
+                SlotState::SeqIn(st) | SlotState::CondLaneIn(st) => st.wants_grant(),
+                SlotState::SeqOut(st) => st.wants_grant(self.m_words, flush),
+                SlotState::CondIn(st) => st.wants_grant(),
+                SlotState::CondOut(st) => st.wants_grant(block, flush),
+                SlotState::Idx(_) => false,
+            };
+            if wants {
+                requesters.push(i);
+            }
+        }
+        if self.idx_states.iter().any(|s| s.pending_addresses()) {
+            requesters.push(idx_group);
+        }
+        if requesters.is_empty() {
+            return;
+        }
+        let winner = *requesters
+            .iter()
+            .find(|&&r| r >= self.rr_grant)
+            .unwrap_or(&requesters[0]);
+        self.rr_grant = (winner + 1) % (self.slots.len() + 1);
+        if winner == idx_group {
+            let p = self.idx_params.expect("indexed streams imply indexed SRF");
+            service_indexed(
+                &mut self.idx_states,
+                srf,
+                now,
+                &p,
+                &mut self.rr_idx,
+                traffic,
+            );
+        } else {
+            let moved = match &mut self.slots[winner] {
+                SlotState::SeqIn(st) | SlotState::CondLaneIn(st) => {
+                    st.grant(srf, self.m_words, now, self.seq_latency)
+                }
+                SlotState::SeqOut(st) => st.grant(srf, self.m_words, flush),
+                SlotState::CondIn(st) => st.grant(srf, block, now, self.seq_latency),
+                SlotState::CondOut(st) => st.grant(srf, block, flush),
+                SlotState::Idx(_) => unreachable!("idx slots never request individually"),
+            };
+            traffic.seq_words += moved;
+        }
+    }
+
+    /// The `(iteration, op)` pairs scheduled for kernel cycle `t`.
+    fn firing(&self) -> Vec<(u64, usize)> {
+        let ii = self.sched.ii as u64;
+        let span = self.sched.span as u64;
+        let t = self.t;
+        let j_hi = (t / ii).min(self.iters.saturating_sub(1));
+        let j_lo = if t >= span { (t - span) / ii + 1 } else { 0 };
+        let mut out = Vec::new();
+        for j in j_lo..=j_hi {
+            let slot = t - j * ii;
+            if slot < span {
+                for &op in &self.ops_by_slot[slot as usize] {
+                    out.push((j, op));
+                }
+            }
+        }
+        out
+    }
+
+    fn ensure_ctx(&mut self, j: u64) {
+        while self.ctx_base + (self.ctxs.len() as u64) <= j {
+            self.ctxs
+                .push_back(vec![0; self.kernel.ops.len() * self.lanes]);
+        }
+        // Retire contexts no active iteration can still reference.
+        let ii = self.sched.ii as u64;
+        let span = self.sched.span as u64;
+        let oldest_active = if self.t >= span {
+            (self.t - span) / ii + 1
+        } else {
+            0
+        };
+        let keep_from = oldest_active.saturating_sub(self.max_dist as u64 + 1);
+        while self.ctx_base < keep_from && self.ctxs.len() > 1 {
+            self.ctxs.pop_front();
+            self.ctx_base += 1;
+        }
+    }
+
+    #[inline]
+    fn ctx_value(&self, j: u64, op: usize, lane: usize) -> Word {
+        let idx = (j - self.ctx_base) as usize;
+        self.ctxs[idx][op * self.lanes + lane]
+    }
+
+    /// Resolve an operand for iteration `j`, lane `lane`.
+    fn resolve(&self, j: u64, operand: &isrf_kernel::ir::Operand, lane: usize) -> Word {
+        let d = operand.distance as u64;
+        if d > j {
+            return operand.init;
+        }
+        let pj = j - d;
+        if pj < self.ctx_base {
+            return operand.init; // retired far-past context (distance misuse)
+        }
+        // Same-cycle Free producers may not be committed yet during checks;
+        // they are pure, so compute directly.
+        let producer = &self.kernel.ops[operand.value.index()];
+        match producer.opcode {
+            Opcode::Const(w) => w,
+            Opcode::LaneId => lane as Word,
+            Opcode::LaneCount => self.lanes as Word,
+            Opcode::IterId => pj as Word,
+            _ => self.ctx_value(pj, operand.value.index(), lane),
+        }
+    }
+
+    /// Check whether every op firing this cycle can proceed.
+    fn check(&self, firing: &[(u64, usize)], now: u64) -> bool {
+        for &(j, opi) in firing {
+            let op = &self.kernel.ops[opi];
+            match op.opcode {
+                Opcode::SeqRead(s) => {
+                    let SlotState::SeqIn(st) = &self.slots[s.0 as usize] else {
+                        unreachable!("validated kind");
+                    };
+                    for lane in 0..self.lanes {
+                        if !st.can_pop(lane, now) && !st.lane_done(lane) {
+                            return false;
+                        }
+                    }
+                }
+                Opcode::SeqWrite(s) => {
+                    let SlotState::SeqOut(st) = &self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    if (0..self.lanes).any(|l| !st.can_push(l)) {
+                        return false;
+                    }
+                }
+                Opcode::CondLaneRead(s) => {
+                    let SlotState::CondLaneIn(st) = &self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    for lane in 0..self.lanes {
+                        let cond = word::as_bool(self.resolve(j, &op.operands[0], lane));
+                        if cond && !st.can_pop(lane, now) && !st.lane_done(lane) {
+                            return false;
+                        }
+                    }
+                }
+                Opcode::CondRead(s) => {
+                    let SlotState::CondIn(st) = &self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    let k: usize = (0..self.lanes)
+                        .filter(|&l| word::as_bool(self.resolve(j, &op.operands[0], l)))
+                        .count();
+                    let k_eff = k.min(st.remaining_words() as usize);
+                    if !st.can_pop(k_eff, now) {
+                        return false;
+                    }
+                }
+                Opcode::CondWrite(s) => {
+                    let SlotState::CondOut(st) = &self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    let k: usize = (0..self.lanes)
+                        .filter(|&l| word::as_bool(self.resolve(j, &op.operands[0], l)))
+                        .count();
+                    if !st.can_push(k) {
+                        return false;
+                    }
+                }
+                Opcode::IdxAddr(s) | Opcode::IdxWrite(s) => {
+                    let SlotState::Idx(i) = self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    if (0..self.lanes).any(|l| !self.idx_states[i].can_push_addr(l)) {
+                        return false;
+                    }
+                }
+                Opcode::IdxRead(s) => {
+                    let SlotState::Idx(i) = self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    if (0..self.lanes).any(|l| !self.idx_states[i].can_pop_data(l)) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Fire all ops of this kernel cycle; returns false (and changes
+    /// nothing) when a stall condition exists.
+    fn fire_cycle(&mut self, now: u64, scratch: &mut [Vec<Word>]) -> bool {
+        let mut firing = self.firing();
+        firing.sort_unstable();
+        for &(j, _) in &firing {
+            self.ensure_ctx(j);
+        }
+        if !self.check(&firing, now) {
+            return false;
+        }
+        let mut comm_busy = false;
+        for &(j, opi) in &firing {
+            let op = self.kernel.ops[opi].clone();
+            let vals: Vec<Word> = (0..self.lanes)
+                .map(|lane| self.execute_lane(j, opi, &op, lane, scratch, &mut comm_busy))
+                .collect();
+            // Cross-lane ops (Comm, CondRead) need all-lane semantics;
+            // handled inside execute paths below via whole-op handling.
+            let idx = (j - self.ctx_base) as usize;
+            for (lane, v) in vals.into_iter().enumerate() {
+                self.ctxs[idx][opi * self.lanes + lane] = v;
+            }
+        }
+        self.comm_busy_prev = comm_busy;
+        true
+    }
+
+    /// Execute `op` for `lane`; cross-lane ops are executed on their first
+    /// lane visit and buffered.
+    fn execute_lane(
+        &mut self,
+        j: u64,
+        _opi: usize,
+        op: &isrf_kernel::ir::Op,
+        lane: usize,
+        scratch: &mut [Vec<Word>],
+        comm_busy: &mut bool,
+    ) -> Word {
+        use Opcode::*;
+        let a = |k: usize, s: &Self| s.resolve(j, &op.operands[k], lane);
+        match op.opcode {
+            Const(w) => w,
+            LaneId => lane as Word,
+            LaneCount => self.lanes as Word,
+            IterId => j as Word,
+            SeqRead(s) => {
+                let SlotState::SeqIn(st) = &mut self.slots[s.0 as usize] else {
+                    unreachable!();
+                };
+                if st.lane_done(lane) {
+                    0
+                } else {
+                    st.pop(lane)
+                }
+            }
+            SeqWrite(s) => {
+                let v = a(0, self);
+                let SlotState::SeqOut(st) = &mut self.slots[s.0 as usize] else {
+                    unreachable!();
+                };
+                st.push(lane, v);
+                v
+            }
+            CondLaneRead(s) => {
+                let cond = word::as_bool(a(0, self));
+                *comm_busy = true;
+                let SlotState::CondLaneIn(st) = &mut self.slots[s.0 as usize] else {
+                    unreachable!();
+                };
+                if cond && !st.lane_done(lane) {
+                    st.pop(lane)
+                } else {
+                    0
+                }
+            }
+            CondRead(s) => {
+                // Whole-op semantics: on the first lane, distribute.
+                if lane == 0 {
+                    let conds: Vec<bool> = (0..self.lanes)
+                        .map(|l| word::as_bool(self.resolve(j, &op.operands[0], l)))
+                        .collect();
+                    let SlotState::CondIn(st) = &mut self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    let k = conds.iter().filter(|&&c| c).count();
+                    let k_eff = k.min(st.remaining_words() as usize);
+                    let mut words = st.pop(k_eff).into_iter();
+                    self.cond_scratch = conds
+                        .iter()
+                        .map(|&c| if c { words.next().unwrap_or(0) } else { 0 })
+                        .collect();
+                    *comm_busy = true;
+                }
+                self.cond_scratch[lane]
+            }
+            CondWrite(s) => {
+                if lane == 0 {
+                    let pairs: Vec<(bool, Word)> = (0..self.lanes)
+                        .map(|l| {
+                            (
+                                word::as_bool(self.resolve(j, &op.operands[0], l)),
+                                self.resolve(j, &op.operands[1], l),
+                            )
+                        })
+                        .collect();
+                    let SlotState::CondOut(st) = &mut self.slots[s.0 as usize] else {
+                        unreachable!();
+                    };
+                    let vals: Vec<Word> =
+                        pairs.iter().filter(|(c, _)| *c).map(|&(_, v)| v).collect();
+                    st.push(&vals);
+                    *comm_busy = true;
+                }
+                0
+            }
+            IdxAddr(s) => {
+                let addr = a(0, self);
+                let SlotState::Idx(i) = self.slots[s.0 as usize] else {
+                    unreachable!();
+                };
+                self.idx_states[i].push_addr(lane, addr);
+                addr
+            }
+            IdxRead(s) => {
+                let SlotState::Idx(i) = self.slots[s.0 as usize] else {
+                    unreachable!();
+                };
+                self.idx_states[i].pop_data(lane)
+            }
+            IdxWrite(s) => {
+                let addr = a(0, self);
+                let v = a(1, self);
+                let SlotState::Idx(i) = self.slots[s.0 as usize] else {
+                    unreachable!();
+                };
+                self.idx_states[i].push_write(lane, addr, vec![v]);
+                v
+            }
+            ScratchRead => {
+                let addr = a(0, self) as usize % scratch[lane].len();
+                scratch[lane][addr]
+            }
+            ScratchWrite => {
+                let addr = a(0, self) as usize % scratch[lane].len();
+                let v = a(1, self);
+                scratch[lane][addr] = v;
+                v
+            }
+            Comm { rotate } => {
+                *comm_busy = true;
+                let src = (lane as i64 + rotate as i64).rem_euclid(self.lanes as i64) as usize;
+                self.resolve(j, &op.operands[0], src)
+            }
+            CommXor { mask } => {
+                *comm_busy = true;
+                let src = (lane ^ mask as usize) % self.lanes;
+                self.resolve(j, &op.operands[0], src)
+            }
+            // Pure ALU ops.
+            _ => eval_alu(op.opcode, |k, l| self.resolve(j, &op.operands[k], l), lane),
+        }
+    }
+}
+
+/// Evaluate a pure ALU opcode for one lane.
+fn eval_alu(opcode: Opcode, resolve: impl Fn(usize, usize) -> Word, lane: usize) -> Word {
+    use Opcode::*;
+    let a = || resolve(0, lane);
+    let b = || resolve(1, lane);
+    let ia = || word::as_i32(resolve(0, lane));
+    let ib = || word::as_i32(resolve(1, lane));
+    let fa = || word::as_f32(resolve(0, lane));
+    let fb = || word::as_f32(resolve(1, lane));
+    match opcode {
+        Mov => a(),
+        Not => !a(),
+        Neg => word::from_i32(ia().wrapping_neg()),
+        FNeg => word::from_f32(-fa()),
+        IToF => word::from_f32(ia() as f32),
+        FToI => word::from_i32(fa() as i32),
+        Add => word::from_i32(ia().wrapping_add(ib())),
+        Sub => word::from_i32(ia().wrapping_sub(ib())),
+        Mul => word::from_i32(ia().wrapping_mul(ib())),
+        Div => word::from_i32(if ib() == 0 { 0 } else { ia().wrapping_div(ib()) }),
+        Rem => word::from_i32(if ib() == 0 { 0 } else { ia().wrapping_rem(ib()) }),
+        And => a() & b(),
+        Or => a() | b(),
+        Xor => a() ^ b(),
+        Shl => a().wrapping_shl(b() & 31),
+        Shr => a().wrapping_shr(b() & 31),
+        Sra => word::from_i32(ia().wrapping_shr(b() & 31)),
+        Lt => word::from_bool(ia() < ib()),
+        Le => word::from_bool(ia() <= ib()),
+        Eq => word::from_bool(a() == b()),
+        Ne => word::from_bool(a() != b()),
+        ULt => word::from_bool(a() < b()),
+        Min => word::from_i32(ia().min(ib())),
+        Max => word::from_i32(ia().max(ib())),
+        FAdd => word::from_f32(fa() + fb()),
+        FSub => word::from_f32(fa() - fb()),
+        FMul => word::from_f32(fa() * fb()),
+        FDiv => word::from_f32(fa() / fb()),
+        FLt => word::from_bool(fa() < fb()),
+        FLe => word::from_bool(fa() <= fb()),
+        FEq => word::from_bool(fa() == fb()),
+        FMin => word::from_f32(fa().min(fb())),
+        FMax => word::from_f32(fa().max(fb())),
+        Select => {
+            if word::as_bool(resolve(0, lane)) {
+                resolve(1, lane)
+            } else {
+                resolve(2, lane)
+            }
+        }
+        _ => unreachable!("non-ALU opcode {opcode:?} reached eval_alu"),
+    }
+}

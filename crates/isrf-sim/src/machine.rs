@@ -1,0 +1,1131 @@
+//! The stream processor machine: lanes, SRF, memory system, sequencer.
+//!
+//! [`Machine`] owns the SRF storage, the memory system and the run-time
+//! statistics, and executes [`StreamProgram`]s cycle by cycle:
+//!
+//! * memory transfers start as soon as their dependences complete and
+//!   proceed concurrently (the latency-hiding overlap of stream machines);
+//! * kernels run one at a time, in program order, on the single sequencer;
+//! * the SRF port is shared: memory transfers claim it for one cycle per
+//!   `N*m`-word block moved, pre-empting kernel stream grants.
+//!
+//! Cycle attribution follows Figure 12: steady-state loop-body cycles,
+//! SRF stalls, memory stalls (cycles where the sequencer is idle waiting
+//! for transfers), and kernel overheads (dispatch, software-pipeline
+//! fill/drain, output flush, and everything else).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use isrf_core::config::{ConfigError, MachineConfig};
+use isrf_core::stats::RunStats;
+use isrf_core::Word;
+use isrf_mem::{MemorySystem, TransferId};
+
+use crate::exec::{KernelRun, Phase};
+
+/// A running memory transfer and, for loads, the destination stream and
+/// the data to land in the SRF at completion.
+type PendingTransfer = (TransferId, Option<(StreamBinding, Vec<Word>)>);
+
+/// One entry of the optional execution trace (see [`Machine::set_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A kernel was dispatched (program op index, kernel name).
+    KernelStart(usize, String),
+    /// A kernel finished, including its output drains.
+    KernelEnd(usize),
+    /// A memory transfer was issued (program op index, words).
+    MemStart(usize, u32),
+    /// A memory transfer completed (data usable).
+    MemEnd(usize),
+}
+use crate::program::{ProgOp, StreamProgram};
+use crate::srf::Srf;
+use crate::stream::StreamBinding;
+
+/// A complete simulated stream processor.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    srf: Srf,
+    mem: MemorySystem,
+    /// Persistent cluster-local scratchpads, `scratch[lane][addr]`.
+    scratch: Vec<Vec<Word>>,
+    now: u64,
+    stats: RunStats,
+    /// Fractional SRF-port debt of memory transfers, in words.
+    mem_port_words: f64,
+    trace_on: bool,
+    trace: Vec<(u64, TraceEvent)>,
+}
+
+impl Machine {
+    /// Build a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(cfg: MachineConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Machine {
+            srf: Srf::new(&cfg),
+            mem: MemorySystem::new(&cfg),
+            scratch: vec![vec![0; cfg.cluster.scratchpad_words.max(1)]; cfg.lanes],
+            now: 0,
+            stats: RunStats::default(),
+            mem_port_words: 0.0,
+            trace_on: false,
+            trace: Vec::new(),
+            cfg,
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The SRF (for allocating ranges and laying out data).
+    pub fn srf(&self) -> &Srf {
+        &self.srf
+    }
+
+    /// Mutable SRF access.
+    pub fn srf_mut(&mut self) -> &mut Srf {
+        &mut self.srf
+    }
+
+    /// The memory system (for laying out benchmark data).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable memory-system access.
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The persistent per-lane scratchpads.
+    pub fn scratch(&self) -> &[Vec<Word>] {
+        &self.scratch
+    }
+
+    /// Enable or disable execution tracing: with tracing on, every kernel
+    /// dispatch/completion and memory transfer start/end is recorded with
+    /// its cycle, for post-mortem inspection of overlap behaviour.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace_on = on;
+    }
+
+    /// The recorded trace (cycle, event), in order.
+    pub fn trace(&self) -> &[(u64, TraceEvent)] {
+        &self.trace
+    }
+
+    /// Clear the recorded trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        if self.trace_on {
+            self.trace.push((self.now, ev));
+        }
+    }
+
+    /// Statistics accumulated across all [`Machine::run`] calls.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Reset statistics (keeps SRF and memory contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// Convenience: allocate an SRF range sized for `records` records of
+    /// `record_words` and return the binding covering it.
+    pub fn alloc_stream(&mut self, record_words: u32, records: u32) -> StreamBinding {
+        let lanes = self.cfg.lanes as u32;
+        let per_bank = records.div_ceil(lanes) * record_words;
+        let range = self.srf.alloc(per_bank);
+        StreamBinding::whole(range, record_words, records)
+    }
+
+    /// Release all SRF allocations.
+    pub fn free_srf(&mut self) {
+        self.srf.free_all();
+    }
+
+    /// Read a stream's content out of the SRF (for checking results).
+    pub fn read_stream(&self, b: &StreamBinding) -> Vec<Word> {
+        (0..b.words())
+            .map(|k| {
+                self.srf
+                    .read_stream_word(b.range, b.record_words, b.stream_word(k))
+            })
+            .collect()
+    }
+
+    /// Write data into a stream's SRF storage directly (test setup).
+    pub fn write_stream(&mut self, b: &StreamBinding, data: &[Word]) {
+        for (k, &v) in data.iter().enumerate() {
+            self.srf
+                .write_stream_word(b.range, b.record_words, b.stream_word(k as u32), v);
+        }
+    }
+
+    /// Execute `program` to completion; returns the stats for this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program deadlocks (circular dependences) — programs
+    /// built with [`StreamProgram`]'s checked constructors cannot.
+    pub fn run(&mut self, program: &StreamProgram) -> RunStats {
+        let start_stats = self.stats;
+        let mem_start = self.mem.traffic();
+        let n = program.len();
+        let mut done = vec![false; n];
+        let mut running_mem: HashMap<usize, PendingTransfer> = HashMap::new();
+        let mut kernel_run: Option<(usize, KernelRun)> = None;
+        let mut kernel_dispatch_left: u32 = 0;
+        let mut kernel_cursor = 0usize; // kernels execute in program order
+        let mut completed = 0usize;
+
+        let deps_done = |done: &[bool], id: usize, program: &StreamProgram| {
+            program.nodes[id].deps.iter().all(|d| done[d.0])
+        };
+
+        while completed < n {
+            // Start ready memory ops.
+            for i in 0..n {
+                if done[i] || running_mem.contains_key(&i) {
+                    continue;
+                }
+                match &program.nodes[i].op {
+                    ProgOp::Load {
+                        pattern,
+                        dst,
+                        cacheable,
+                    } if deps_done(&done, i, program) => {
+                        let (id, data) = self.mem.start_read(pattern.clone(), *cacheable);
+                        self.emit(TraceEvent::MemStart(i, data.len() as u32));
+                        running_mem.insert(i, (id, Some((*dst, data))));
+                    }
+                    ProgOp::Store {
+                        src,
+                        pattern,
+                        cacheable,
+                    } if deps_done(&done, i, program) => {
+                        let data: Vec<Word> = (0..src.words())
+                            .map(|k| {
+                                self.srf.read_stream_word(
+                                    src.range,
+                                    src.record_words,
+                                    src.stream_word(k),
+                                )
+                            })
+                            .collect();
+                        let words = data.len() as u32;
+                        let id = self.mem.start_write(pattern.clone(), &data, *cacheable);
+                        self.emit(TraceEvent::MemStart(i, words));
+                        running_mem.insert(i, (id, None));
+                    }
+                    ProgOp::GatherDyn {
+                        index_stream,
+                        base,
+                        dst,
+                        cacheable,
+                    } if deps_done(&done, i, program) => {
+                        let addrs: Vec<u32> = (0..index_stream.words())
+                            .map(|k| {
+                                base + self.srf.read_stream_word(
+                                    index_stream.range,
+                                    index_stream.record_words,
+                                    index_stream.stream_word(k),
+                                )
+                            })
+                            .collect();
+                        let (id, data) = self
+                            .mem
+                            .start_read(isrf_mem::AddrPattern::Indexed(addrs), *cacheable);
+                        self.emit(TraceEvent::MemStart(i, data.len() as u32));
+                        running_mem.insert(i, (id, Some((*dst, data))));
+                    }
+                    ProgOp::ScatterDyn {
+                        src,
+                        index_stream,
+                        base,
+                        cacheable,
+                    } if deps_done(&done, i, program) => {
+                        let addrs: Vec<u32> = (0..index_stream.words())
+                            .map(|k| {
+                                base + self.srf.read_stream_word(
+                                    index_stream.range,
+                                    index_stream.record_words,
+                                    index_stream.stream_word(k),
+                                )
+                            })
+                            .collect();
+                        let data: Vec<Word> = (0..src.words())
+                            .map(|k| {
+                                self.srf.read_stream_word(
+                                    src.range,
+                                    src.record_words,
+                                    src.stream_word(k),
+                                )
+                            })
+                            .collect();
+                        let words = data.len() as u32;
+                        let id = self.mem.start_write(
+                            isrf_mem::AddrPattern::Indexed(addrs),
+                            &data,
+                            *cacheable,
+                        );
+                        self.emit(TraceEvent::MemStart(i, words));
+                        running_mem.insert(i, (id, None));
+                    }
+                    _ => {}
+                }
+            }
+            // Dispatch the next kernel (in program order) when ready.
+            while kernel_cursor < n
+                && (done[kernel_cursor]
+                    || !matches!(program.nodes[kernel_cursor].op, ProgOp::Kernel { .. }))
+            {
+                kernel_cursor += 1;
+            }
+            if kernel_run.is_none()
+                && kernel_cursor < n
+                && deps_done(&done, kernel_cursor, program)
+            {
+                if let ProgOp::Kernel {
+                    kernel,
+                    schedule,
+                    bindings,
+                    iters,
+                } = &program.nodes[kernel_cursor].op
+                {
+                    self.emit(TraceEvent::KernelStart(kernel_cursor, kernel.name.clone()));
+                    kernel_run = Some((
+                        kernel_cursor,
+                        KernelRun::new(
+                            &self.cfg,
+                            Rc::clone(kernel),
+                            schedule.clone(),
+                            bindings.clone(),
+                            *iters,
+                        ),
+                    ));
+                    kernel_dispatch_left = self.cfg.kernel_dispatch_cycles;
+                }
+            }
+
+            // ---- One machine cycle. ----
+            self.now += 1;
+            self.mem.tick();
+            // Memory transfers consume the SRF port: one block grant per
+            // N*m words moved.
+            self.mem_port_words += self.mem.words_served_last_tick() as f64;
+            let block = (self.cfg.lanes * self.cfg.srf.words_per_seq_access) as f64;
+            let mem_claims_port = if self.mem_port_words >= block {
+                self.mem_port_words -= block;
+                true
+            } else {
+                false
+            };
+
+            // Complete finished memory ops (fill SRF for loads).
+            let finished: Vec<usize> = running_mem
+                .iter()
+                .filter(|(_, (id, _))| self.mem.is_complete(*id))
+                .map(|(&i, _)| i)
+                .collect();
+            for i in finished {
+                let (_, payload) = running_mem.remove(&i).expect("present");
+                if let Some((dst, data)) = payload {
+                    for (k, &v) in data.iter().enumerate() {
+                        self.srf.write_stream_word(
+                            dst.range,
+                            dst.record_words,
+                            dst.stream_word(k as u32),
+                            v,
+                        );
+                    }
+                }
+                done[i] = true;
+                completed += 1;
+                self.emit(TraceEvent::MemEnd(i));
+            }
+
+            // Advance the kernel (or attribute the idle cycle).
+            if let Some((ki, run)) = &mut kernel_run {
+                if kernel_dispatch_left > 0 {
+                    kernel_dispatch_left -= 1;
+                    self.stats.breakdown.overhead += 1;
+                } else {
+                    let phase = run.tick(
+                        self.now,
+                        &mut self.srf,
+                        &mut self.scratch,
+                        mem_claims_port,
+                        &mut self.stats.srf,
+                    );
+                    match phase {
+                        Phase::Advanced | Phase::Stalled => {
+                            self.stats.main_loop_cycles += 1;
+                            if phase == Phase::Stalled {
+                                self.stats.breakdown.srf_stall += 1;
+                            }
+                            // Loop-body vs fill/drain is settled at kernel end.
+                        }
+                        Phase::Flushing => {
+                            self.stats.breakdown.overhead += 1;
+                        }
+                        Phase::Done => {
+                            // Attribute advanced cycles: body = iters*II,
+                            // the rest is software-pipeline fill/drain.
+                            let body = run.body_cycles().min(run.advance_cycles);
+                            self.stats.breakdown.kernel_loop += body;
+                            self.stats.breakdown.overhead += run.advance_cycles - body;
+                            let i = *ki;
+                            done[i] = true;
+                            completed += 1;
+                            kernel_run = None;
+                            self.emit(TraceEvent::KernelEnd(i));
+                            self.stats.breakdown.overhead += 1; // this cycle
+                        }
+                    }
+                }
+            } else if !running_mem.is_empty() {
+                self.stats.breakdown.mem_stall += 1;
+            } else if completed < n {
+                // Waiting on nothing measurable (e.g. dependence chains of
+                // zero-length ops); attribute to overhead.
+                self.stats.breakdown.overhead += 1;
+            }
+            self.stats.cycles += 1;
+
+            assert!(
+                self.stats.cycles - (start_stats.cycles) < 1_000_000_000,
+                "program appears deadlocked"
+            );
+        }
+
+        self.stats.mem = self.mem.traffic();
+        let mut delta = self.stats;
+        delta.cycles -= start_stats.cycles;
+        delta.main_loop_cycles -= start_stats.main_loop_cycles;
+        delta.breakdown.kernel_loop -= start_stats.breakdown.kernel_loop;
+        delta.breakdown.mem_stall -= start_stats.breakdown.mem_stall;
+        delta.breakdown.srf_stall -= start_stats.breakdown.srf_stall;
+        delta.breakdown.overhead -= start_stats.breakdown.overhead;
+        delta.srf.seq_words -= start_stats.srf.seq_words;
+        delta.srf.inlane_words -= start_stats.srf.inlane_words;
+        delta.srf.crosslane_words -= start_stats.srf.crosslane_words;
+        delta.mem.bytes_read -= mem_start.bytes_read;
+        delta.mem.bytes_written -= mem_start.bytes_written;
+        delta.mem.cache_hit_bytes -= mem_start.cache_hit_bytes;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrf_core::config::ConfigName;
+    use crate::program::ProgOpId;
+    use isrf_kernel::ir::{KernelBuilder, Operand, StreamKind};
+    use isrf_kernel::sched::{schedule, SchedParams, Schedule};
+    use isrf_kernel::Kernel;
+    use isrf_mem::AddrPattern;
+
+    fn machine(name: ConfigName) -> Machine {
+        Machine::new(MachineConfig::preset(name)).unwrap()
+    }
+
+    fn sched_for(m: &Machine, k: &Kernel) -> Schedule {
+        schedule(k, &SchedParams::from_machine(m.config())).unwrap()
+    }
+
+    /// out[i] = 2 * in[i], end to end through memory.
+    #[test]
+    fn sequential_copy_scale_kernel() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("scale");
+        let si = b.stream("in", StreamKind::SeqIn);
+        let so = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(si);
+        let two = b.constant(2);
+        let y = b.mul(x, two);
+        b.seq_write(so, y);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+
+        let n = 256u32;
+        for i in 0..n {
+            m.mem_mut().memory_mut().write(i, i + 1);
+        }
+        let inp = m.alloc_stream(1, n);
+        let outp = m.alloc_stream(1, n);
+        let mut p = StreamProgram::new();
+        let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
+        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        p.store(outp, AddrPattern::contiguous(10_000, n), false, &[kk]);
+        let stats = m.run(&p);
+
+        for i in 0..n {
+            assert_eq!(m.mem().memory().read(10_000 + i), 2 * (i + 1), "element {i}");
+        }
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.mem.total(), (n as u64) * 8, "load + store traffic");
+        assert!(stats.breakdown.kernel_loop >= (n as u64 / 8), "body cycles");
+        assert!(stats.srf.seq_words >= 2 * n as u64, "both streams through SRF");
+    }
+
+    /// Per-lane running sum via a loop-carried operand.
+    #[test]
+    fn loop_carried_accumulation() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("prefix");
+        let si = b.stream("in", StreamKind::SeqIn);
+        let so = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(si);
+        // acc = acc(prev) + x  (op index 1)
+        let acc = b.push(
+            isrf_kernel::Opcode::Add,
+            vec![
+                Operand::from(x),
+                Operand::carried(isrf_kernel::ValueId(1), 1, 0),
+            ],
+        );
+        b.seq_write(so, acc);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+
+        let n = 64u32;
+        for i in 0..n {
+            m.mem_mut().memory_mut().write(i, 1); // all ones
+        }
+        let inp = m.alloc_stream(1, n);
+        let outp = m.alloc_stream(1, n);
+        let mut p = StreamProgram::new();
+        let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
+        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        p.store(outp, AddrPattern::contiguous(1000, n), false, &[kk]);
+        m.run(&p);
+        // Record r = iteration r/8 of lane r%8; running count = r/8 + 1.
+        for r in 0..n {
+            assert_eq!(m.mem().memory().read(1000 + r), r / 8 + 1, "record {r}");
+        }
+    }
+
+    /// Cross-lane indexed read: every cluster fetches its neighbor's data.
+    #[test]
+    fn crosslane_indexed_permutation() {
+        let mut m = machine(ConfigName::Isrf4);
+        let mut b = KernelBuilder::new("xl");
+        let data = b.stream("data", StreamKind::IdxCrossRead);
+        let so = b.stream("out", StreamKind::SeqOut);
+        // record = iter * lanes + (lane + 1) % lanes
+        let lane = b.lane_id();
+        let one = b.constant(1);
+        let lanes = b.lane_count();
+        let iter = b.iter_id();
+        let l1 = b.add(lane, one);
+        let wrapped = b.rem(l1, lanes);
+        let base = b.mul(iter, lanes);
+        let rec = b.add(base, wrapped);
+        let v = b.idx_load(data, rec);
+        b.seq_write(so, v);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+
+        let n = 64u32;
+        let dstream = m.alloc_stream(1, n);
+        let ostream = m.alloc_stream(1, n);
+        let vals: Vec<u32> = (0..n).map(|i| 100 + i).collect();
+        m.write_stream(&dstream, &vals);
+        let mut p = StreamProgram::new();
+        let kk = p.kernel(Rc::clone(&k), s, vec![dstream, ostream], (n / 8) as u64, &[]);
+        p.store(ostream, AddrPattern::contiguous(5000, n), false, &[kk]);
+        let stats = m.run(&p);
+        assert!(stats.srf.crosslane_words >= n as u64);
+        for i in 0..n {
+            let lane = i % 8;
+            let iter = i / 8;
+            let expect = 100 + iter * 8 + (lane + 1) % 8;
+            assert_eq!(m.mem().memory().read(5000 + i), expect, "record {i}");
+        }
+    }
+
+    /// Indexed in-lane writes land at computed lane-local addresses.
+    #[test]
+    fn inlane_indexed_write_scatter() {
+        let mut m = machine(ConfigName::Isrf4);
+        let mut b = KernelBuilder::new("scatter");
+        let dst = b.stream("dst", StreamKind::IdxInWrite);
+        // Write value (lane*100 + iter) at lane-local word (7 - iter).
+        let lane = b.lane_id();
+        let iter = b.iter_id();
+        let c100 = b.constant(100);
+        let v0 = b.mul(lane, c100);
+        let v = b.add(v0, iter);
+        let seven = b.constant(7);
+        let addr = b.sub(seven, iter);
+        b.idx_write(dst, addr, v);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+
+        let dstream = m.alloc_stream(1, 64);
+        let mut p = StreamProgram::new();
+        p.kernel(Rc::clone(&k), s, vec![dstream], 8, &[]);
+        m.run(&p);
+        for lane in 0..8usize {
+            for iter in 0..8u32 {
+                assert_eq!(
+                    m.srf().read(lane, dstream.range.base + 7 - iter),
+                    lane as u32 * 100 + iter
+                );
+            }
+        }
+    }
+
+    /// Conditional output stream compacts selected elements.
+    #[test]
+    fn conditional_write_compacts() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("compact");
+        let si = b.stream("in", StreamKind::SeqIn);
+        let so = b.stream("out", StreamKind::CondOut);
+        let x = b.seq_read(si);
+        let one = b.constant(1);
+        let odd = b.and(x, one);
+        b.cond_write(so, odd, x);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+
+        let n = 64u32;
+        for i in 0..n {
+            m.mem_mut().memory_mut().write(i, i);
+        }
+        let inp = m.alloc_stream(1, n);
+        let outp = m.alloc_stream(1, n / 2);
+        let mut p = StreamProgram::new();
+        let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
+        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        p.store(outp, AddrPattern::contiguous(2000, n / 2), false, &[kk]);
+        m.run(&p);
+        // Each iteration processes records 8j..8j+8 = values 8j..8j+8; the
+        // odd ones (4 per iteration) are appended in lane order.
+        let got: Vec<u32> = (0..n / 2).map(|i| m.mem().memory().read(2000 + i)).collect();
+        let expect: Vec<u32> = (0..n).filter(|v| v % 2 == 1).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Conditional input distributes elements to asserting lanes.
+    #[test]
+    fn conditional_read_distributes() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("dist");
+        let si = b.stream("in", StreamKind::CondIn);
+        let so = b.stream("out", StreamKind::SeqOut);
+        // Even lanes read; odd lanes get 0.
+        let lane = b.lane_id();
+        let one = b.constant(1);
+        let lsb = b.and(lane, one);
+        let zero = b.constant(0);
+        let even = b.eq(lsb, zero);
+        let v = b.cond_read(si, even);
+        b.seq_write(so, v);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+
+        let inp = m.alloc_stream(1, 32);
+        let outp = m.alloc_stream(1, 64);
+        let vals: Vec<u32> = (0..32).map(|i| 500 + i).collect();
+        m.write_stream(&inp, &vals);
+        let mut p = StreamProgram::new();
+        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], 8, &[]);
+        p.store(outp, AddrPattern::contiguous(3000, 64), false, &[kk]);
+        m.run(&p);
+        // Iteration j: lanes 0,2,4,6 receive elements 4j..4j+4.
+        for j in 0..8u32 {
+            for (pos, lane) in [0u32, 2, 4, 6].iter().enumerate() {
+                let rec = j * 8 + lane;
+                assert_eq!(m.mem().memory().read(3000 + rec), 500 + 4 * j + pos as u32);
+            }
+            for lane in [1u32, 3, 5, 7] {
+                assert_eq!(m.mem().memory().read(3000 + j * 8 + lane), 0);
+            }
+        }
+    }
+
+    /// Inter-cluster rotate permutes values across lanes.
+    #[test]
+    fn comm_rotate_permutes() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("rot");
+        let so = b.stream("out", StreamKind::SeqOut);
+        let lane = b.lane_id();
+        let c10 = b.constant(10);
+        let v = b.mul(lane, c10);
+        let r = b.comm_rotate(1, v);
+        b.seq_write(so, r);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+        let outp = m.alloc_stream(1, 8);
+        let mut p = StreamProgram::new();
+        p.kernel(Rc::clone(&k), s, vec![outp], 1, &[]);
+        m.run(&p);
+        let got = m.read_stream(&outp);
+        // Lane l receives the value of lane (l+1) % 8.
+        let expect: Vec<u32> = (0..8).map(|l| ((l + 1) % 8) * 10).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Memory stalls appear when a kernel waits on a long load.
+    #[test]
+    fn memory_stall_attribution() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("consume");
+        let si = b.stream("in", StreamKind::SeqIn);
+        let so = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(si);
+        b.seq_write(so, x);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+        let n = 8192u32;
+        let inp = m.alloc_stream(1, n);
+        let outp = m.alloc_stream(1, n);
+        let mut p = StreamProgram::new();
+        let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
+        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        let _ = kk;
+        let stats = m.run(&p);
+        // The load takes ~3600 cycles; the kernel only ~1000. Waiting for
+        // the load dominates.
+        assert!(
+            stats.breakdown.mem_stall > stats.breakdown.kernel_loop,
+            "{:?}",
+            stats.breakdown
+        );
+    }
+
+    /// Double buffering overlaps strip N's load with strip N-1's kernel.
+    #[test]
+    fn double_buffering_overlaps_memory_and_compute() {
+        fn run(overlap: bool) -> u64 {
+            let mut m = machine(ConfigName::Base);
+            let mut b = KernelBuilder::new("work");
+            let si = b.stream("in", StreamKind::SeqIn);
+            let so = b.stream("out", StreamKind::SeqOut);
+            let x = b.seq_read(si);
+            // Enough multiplies to make compute time comparable to the load.
+            let mut v = x;
+            for _ in 0..12 {
+                v = b.mul(v, x);
+            }
+            b.seq_write(so, v);
+            let k = Rc::new(b.build().unwrap());
+            let s = sched_for(&m, &k);
+            let strip = 2048u32;
+            let strips = 4u32;
+            let bufs = [m.alloc_stream(1, strip), m.alloc_stream(1, strip)];
+            let obufs = [m.alloc_stream(1, strip), m.alloc_stream(1, strip)];
+            let mut p = StreamProgram::new();
+            let mut last_kernel: Option<ProgOpId> = None;
+            let mut last_in_buf: [Option<ProgOpId>; 2] = [None, None];
+            for i in 0..strips {
+                let pick = (i % 2) as usize;
+                let mut deps: Vec<ProgOpId> = Vec::new();
+                if let Some(prev) = last_in_buf[pick] {
+                    deps.push(prev); // anti-dependence on buffer reuse
+                }
+                if !overlap {
+                    if let Some(lk) = last_kernel {
+                        deps.push(lk);
+                    }
+                }
+                let l = p.load(
+                    AddrPattern::contiguous(i * strip, strip),
+                    bufs[pick],
+                    false,
+                    &deps,
+                );
+                let mut kdeps = vec![l];
+                if let Some(lk) = last_kernel {
+                    kdeps.push(lk);
+                }
+                let kk = p.kernel(
+                    Rc::clone(&k),
+                    s.clone(),
+                    vec![bufs[pick], obufs[pick]],
+                    (strip / 8) as u64,
+                    &kdeps,
+                );
+                last_kernel = Some(kk);
+                last_in_buf[pick] = Some(kk);
+            }
+            m.run(&p).cycles
+        }
+        let serial = run(false);
+        let pipelined = run(true);
+        assert!(
+            (pipelined as f64) < 0.75 * serial as f64,
+            "pipelined {pipelined} vs serial {serial}"
+        );
+    }
+
+    /// Stats are deterministic across identical runs.
+    #[test]
+    fn deterministic_runs() {
+        fn once() -> RunStats {
+            let mut m = machine(ConfigName::Isrf4);
+            let mut b = KernelBuilder::new("lut");
+            let si = b.stream("in", StreamKind::SeqIn);
+            let lut = b.stream("LUT", StreamKind::IdxInRead);
+            let so = b.stream("out", StreamKind::SeqOut);
+            let x = b.seq_read(si);
+            let mask = b.constant(0xff);
+            let a = b.and(x, mask);
+            let v = b.idx_load(lut, a);
+            let y = b.add(x, v);
+            b.seq_write(so, y);
+            let k = Rc::new(b.build().unwrap());
+            let s = sched_for(&m, &k);
+            let inp = m.alloc_stream(1, 512);
+            let lutb = m.alloc_stream(1, 256 * 8);
+            let outp = m.alloc_stream(1, 512);
+            let ivals: Vec<u32> = (0..512).map(|i| i * 7).collect();
+            m.write_stream(&inp, &ivals);
+            let lvals: Vec<u32> = (0..2048).map(|i| i / 8).collect();
+            m.write_stream(&lutb, &lvals);
+            let mut p = StreamProgram::new();
+            let kk = p.kernel(Rc::clone(&k), s, vec![inp, lutb, outp], 64, &[]);
+            p.store(outp, AddrPattern::contiguous(9000, 512), false, &[kk]);
+            m.run(&p)
+        }
+        assert_eq!(once(), once());
+    }
+
+    /// Functional check for the in-lane lookup above.
+    #[test]
+    fn inlane_lookup_values() {
+        let mut m = machine(ConfigName::Isrf4);
+        let mut b = KernelBuilder::new("lut");
+        let si = b.stream("in", StreamKind::SeqIn);
+        let lut = b.stream("LUT", StreamKind::IdxInRead);
+        let so = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(si);
+        let mask = b.constant(0xff);
+        let a = b.and(x, mask);
+        let v = b.idx_load(lut, a);
+        b.seq_write(so, v);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+        let inp = m.alloc_stream(1, 64);
+        let lutb = m.alloc_stream(1, 256 * 8);
+        let outp = m.alloc_stream(1, 64);
+        let ivals: Vec<u32> = (0..64).map(|i| (i * 3) % 256).collect();
+        m.write_stream(&inp, &ivals);
+        // Replicated per lane: global record r holds table[r / 8].
+        let lvals: Vec<u32> = (0..2048).map(|r| 7000 + r / 8).collect();
+        m.write_stream(&lutb, &lvals);
+        let mut p = StreamProgram::new();
+        let kk = p.kernel(Rc::clone(&k), s, vec![inp, lutb, outp], 8, &[]);
+        p.store(outp, AddrPattern::contiguous(9000, 64), false, &[kk]);
+        let stats = m.run(&p);
+        for i in 0..64u32 {
+            assert_eq!(m.mem().memory().read(9000 + i), 7000 + (i * 3) % 256);
+        }
+        assert_eq!(stats.srf.inlane_words, 64);
+        assert_eq!(stats.srf.crosslane_words, 0);
+    }
+
+    /// The scratchpad is cluster-local state.
+    #[test]
+    fn scratchpad_is_lane_local() {
+        let mut m = machine(ConfigName::Base);
+        let mut b = KernelBuilder::new("sp");
+        let so = b.stream("out", StreamKind::SeqOut);
+        let lane = b.lane_id();
+        let iter = b.iter_id();
+        let addr = b.constant(5);
+        // iter 0 writes lane id; iter 1 reads it back and emits it.
+        let zero = b.constant(0);
+        let is0 = b.eq(iter, zero);
+        b.scratch_write(addr, lane); // writes every iter; value = lane
+        let rd = b.scratch_read(addr);
+        let _ = is0;
+        b.seq_write(so, rd);
+        let k = Rc::new(b.build().unwrap());
+        let s = sched_for(&m, &k);
+        let outp = m.alloc_stream(1, 16);
+        let mut p = StreamProgram::new();
+        p.kernel(Rc::clone(&k), s, vec![outp], 2, &[]);
+        m.run(&p);
+        let got = m.read_stream(&outp);
+        let expect: Vec<u32> = (0..16).map(|r| r % 8).collect();
+        assert_eq!(got, expect);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::program::StreamProgram;
+    use isrf_core::config::ConfigName;
+    use isrf_kernel::ir::{KernelBuilder, StreamKind};
+    use isrf_kernel::sched::{schedule, SchedParams};
+    use isrf_mem::AddrPattern;
+    use std::rc::Rc;
+
+    fn copy_kernel() -> Rc<isrf_kernel::Kernel> {
+        let mut b = KernelBuilder::new("copy");
+        let i = b.stream("in", StreamKind::SeqIn);
+        let o = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(i);
+        b.seq_write(o, x);
+        Rc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn zero_iteration_kernel_completes() {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let k = copy_kernel();
+        let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+        let mut m = Machine::new(cfg).unwrap();
+        let a = m.alloc_stream(1, 8);
+        let b = m.alloc_stream(1, 8);
+        let mut p = StreamProgram::new();
+        p.kernel(k, s, vec![a, b], 0, &[]);
+        let stats = m.run(&p);
+        assert!(stats.cycles > 0, "dispatch still costs cycles");
+        assert_eq!(stats.breakdown.kernel_loop, 0);
+    }
+
+    #[test]
+    fn partial_output_blocks_flush() {
+        // 8 records = 1 word per lane: far less than an m=4 block, so the
+        // data only reaches the SRF via the end-of-kernel flush.
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let k = copy_kernel();
+        let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+        let mut m = Machine::new(cfg).unwrap();
+        let a = m.alloc_stream(1, 8);
+        let b = m.alloc_stream(1, 8);
+        m.write_stream(&a, &[9, 8, 7, 6, 5, 4, 3, 2]);
+        let mut p = StreamProgram::new();
+        p.kernel(k, s, vec![a, b], 1, &[]);
+        m.run(&p);
+        assert_eq!(m.read_stream(&b), vec![9, 8, 7, 6, 5, 4, 3, 2]);
+    }
+
+    #[test]
+    fn kernels_run_strictly_in_program_order() {
+        // Kernel 2's input is kernel 1's output region; no explicit dep is
+        // given beyond program order + the data dep edge.
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let k = copy_kernel();
+        let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+        let mut m = Machine::new(cfg).unwrap();
+        let a = m.alloc_stream(1, 64);
+        let b = m.alloc_stream(1, 64);
+        let c = m.alloc_stream(1, 64);
+        let data: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        m.write_stream(&a, &data);
+        let mut p = StreamProgram::new();
+        let k1 = p.kernel(Rc::clone(&k), s.clone(), vec![a, b], 8, &[]);
+        p.kernel(k, s, vec![b, c], 8, &[k1]);
+        m.run(&p);
+        assert_eq!(m.read_stream(&c), data);
+    }
+
+    #[test]
+    fn four_lane_machine_works() {
+        // The simulator is generic in lane count even though the paper's
+        // configurations use 8.
+        let mut cfg = MachineConfig::preset(ConfigName::Isrf4);
+        cfg.lanes = 4;
+        cfg.validate().unwrap();
+        let mut b = KernelBuilder::new("lut4");
+        let sin = b.stream("in", StreamKind::SeqIn);
+        let lut = b.stream("lut", StreamKind::IdxInRead);
+        let so = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(sin);
+        let v = b.idx_load(lut, x);
+        b.seq_write(so, v);
+        let k = Rc::new(b.build().unwrap());
+        let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+        let mut m = Machine::new(cfg).unwrap();
+        let inp = m.alloc_stream(1, 16);
+        let table = m.alloc_stream(1, 16 * 4);
+        let outp = m.alloc_stream(1, 16);
+        m.write_stream(&inp, &(0..16).map(|i| i % 16).collect::<Vec<_>>());
+        // Lane-local entry e = 100 + e (global record e*4 + lane).
+        let tvals: Vec<u32> = (0..64).map(|r| 100 + r / 4).collect();
+        m.write_stream(&table, &tvals);
+        let mut p = StreamProgram::new();
+        let kk = p.kernel(k, s, vec![inp, table, outp], 4, &[]);
+        p.store(outp, AddrPattern::contiguous(0x1000, 16), false, &[kk]);
+        m.run(&p);
+        for i in 0..16u32 {
+            assert_eq!(m.mem().memory().read(0x1000 + i), 100 + i % 16);
+        }
+    }
+
+    #[test]
+    fn free_srf_allows_region_reuse() {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let mut m = Machine::new(cfg).unwrap();
+        let a = m.alloc_stream(1, 1024);
+        m.write_stream(&a, &vec![5; 1024]);
+        m.free_srf();
+        let b = m.alloc_stream(1, 1024);
+        // Same storage, new binding: old contents still visible.
+        assert_eq!(m.read_stream(&b), vec![5; 1024]);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs_but_deltas_are_per_run() {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let k = copy_kernel();
+        let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+        let mut m = Machine::new(cfg).unwrap();
+        let a = m.alloc_stream(1, 64);
+        let b = m.alloc_stream(1, 64);
+        let mut p = StreamProgram::new();
+        let l = p.load(AddrPattern::contiguous(0, 64), a, false, &[]);
+        p.kernel(k, s, vec![a, b], 8, &[l]);
+        let first = m.run(&p);
+        let second = m.run(&p);
+        assert_eq!(first.mem.bytes_read, 256);
+        assert_eq!(second.mem.bytes_read, 256, "delta, not cumulative");
+        assert_eq!(m.stats().mem.bytes_read, 512, "machine total accumulates");
+        // Cycle counts of back-to-back runs may differ slightly (carried
+        // bandwidth-credit state); a fresh machine is fully deterministic.
+        assert!(first.cycles.abs_diff(second.cycles) <= 8);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::program::StreamProgram;
+    use isrf_core::config::ConfigName;
+    use isrf_kernel::ir::{KernelBuilder, StreamKind};
+    use isrf_kernel::sched::{schedule, SchedParams};
+    use isrf_mem::AddrPattern;
+    use std::rc::Rc;
+
+    #[test]
+    fn trace_records_overlap_in_order() {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let mut b = KernelBuilder::new("t");
+        let i = b.stream("in", StreamKind::SeqIn);
+        let o = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(i);
+        b.seq_write(o, x);
+        let k = Rc::new(b.build().unwrap());
+        let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+        let mut m = Machine::new(cfg).unwrap();
+        m.set_trace(true);
+        let a = m.alloc_stream(1, 64);
+        let c = m.alloc_stream(1, 64);
+        let mut p = StreamProgram::new();
+        let l = p.load(AddrPattern::contiguous(0, 64), a, false, &[]);
+        let kk = p.kernel(k, s, vec![a, c], 8, &[l]);
+        p.store(c, AddrPattern::contiguous(0x1000, 64), false, &[kk]);
+        m.run(&p);
+        let trace = m.trace();
+        // Load starts before the kernel; the kernel ends before its store
+        // completes; every event carries a monotone cycle.
+        let pos = |ev: &TraceEvent| trace.iter().position(|(_, e)| e == ev).unwrap();
+        assert!(pos(&TraceEvent::MemStart(0, 64)) < pos(&TraceEvent::KernelStart(1, "t".into())));
+        assert!(pos(&TraceEvent::MemEnd(0)) < pos(&TraceEvent::KernelEnd(1)));
+        assert!(pos(&TraceEvent::KernelEnd(1)) < pos(&TraceEvent::MemEnd(2)));
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0), "cycles monotone");
+        m.clear_trace();
+        assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let mut m = Machine::new(cfg).unwrap();
+        let a = m.alloc_stream(1, 8);
+        let mut p = StreamProgram::new();
+        p.load(AddrPattern::contiguous(0, 8), a, false, &[]);
+        m.run(&p);
+        assert!(m.trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod contention_tests {
+    use super::*;
+    use crate::program::StreamProgram;
+    use isrf_core::config::ConfigName;
+    use isrf_kernel::ir::{KernelBuilder, StreamKind};
+    use isrf_kernel::sched::{schedule, SchedParams};
+    use isrf_mem::AddrPattern;
+    use std::rc::Rc;
+
+    /// A concurrent bulk memory transfer steals SRF-port cycles from the
+    /// kernel's stream grants: the kernel slows down even though its data
+    /// is already SRF-resident.
+    #[test]
+    fn memory_transfers_contend_for_the_srf_port() {
+        fn run(with_background_store: bool) -> u64 {
+            let cfg = MachineConfig::preset(ConfigName::Base);
+            // A port-hungry kernel: 4 streams in, 4 out -> every cycle the
+            // port serves someone.
+            let mut b = KernelBuilder::new("hungry");
+            let ins: Vec<_> = (0..4)
+                .map(|i| b.stream(format!("i{i}"), StreamKind::SeqIn))
+                .collect();
+            let outs: Vec<_> = (0..4)
+                .map(|i| b.stream(format!("o{i}"), StreamKind::SeqOut))
+                .collect();
+            for (i, o) in ins.iter().zip(&outs) {
+                let x = b.seq_read(*i);
+                b.seq_write(*o, x);
+            }
+            let k = Rc::new(b.build().unwrap());
+            let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
+            let mut m = Machine::new(cfg).unwrap();
+            let n = 2048u32;
+            let bufs: Vec<_> = (0..8).map(|_| m.alloc_stream(1, n)).collect();
+            let big = m.alloc_stream(1, 8192);
+            let mut p = StreamProgram::new();
+            let mut deps = vec![];
+            if with_background_store {
+                // An 8192-word store runs concurrently with the kernel.
+                deps.push(p.store(big, AddrPattern::contiguous(0x10_0000, 8192), false, &[]));
+            }
+            let bindings: Vec<_> = bufs.to_vec();
+            let kk = p.kernel(k, s, bindings, (n / 8) as u64, &[]);
+            let _ = (kk, deps);
+            // Measure the kernel's active window, not the program end (the
+            // background store itself takes thousands of cycles).
+            m.run(&p).main_loop_cycles
+        }
+        let quiet = run(false);
+        let contended = run(true);
+        assert!(
+            contended > quiet,
+            "background transfer must steal port cycles: {contended} vs {quiet}"
+        );
+        assert!(
+            (contended as f64) < 1.5 * quiet as f64,
+            "but only a modest share: {contended} vs {quiet}"
+        );
+    }
+}

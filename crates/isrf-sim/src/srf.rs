@@ -1,0 +1,270 @@
+//! SRF storage: banked, sub-arrayed, software-managed.
+//!
+//! The SRF holds `capacity / lanes` words per bank. Software allocates
+//! *ranges* — per-bank word intervals present at the same offset in every
+//! bank — and lays streams out across them.
+//!
+//! ## Stream layout convention
+//!
+//! A stream over a range stores its data **record-interleaved**: record `r`
+//! lives in bank `r mod N`, at per-bank word offset
+//! `base + (r / N) * record_words`. Consecutive records of one bank are
+//! contiguous, so a sequential block access (`m` contiguous words per bank)
+//! fetches the next `m / record_words` records of every lane at once —
+//! exactly the hardware's wide single-ported access. With `record_words ==
+//! 1` this is plain word interleaving.
+
+use isrf_core::config::MachineConfig;
+use isrf_core::Word;
+
+/// A per-bank word interval, replicated at the same offset in every bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrfRange {
+    /// Starting word offset within each bank.
+    pub base: u32,
+    /// Words reserved per bank.
+    pub words_per_bank: u32,
+}
+
+impl SrfRange {
+    /// Total capacity of the range in words across all banks.
+    pub fn total_words(&self, lanes: usize) -> u32 {
+        self.words_per_bank * lanes as u32
+    }
+}
+
+/// Banked SRF storage with a simple bump allocator for ranges.
+#[derive(Debug, Clone)]
+pub struct Srf {
+    lanes: usize,
+    bank_words: u32,
+    subarray_words: u32,
+    /// `data[lane][offset]`.
+    data: Vec<Vec<Word>>,
+    next_free: u32,
+}
+
+impl Srf {
+    /// Build the SRF for a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let bank_words = cfg.srf.bank_words(cfg.lanes) as u32;
+        Srf {
+            lanes: cfg.lanes,
+            bank_words,
+            subarray_words: cfg.srf.subarray_words(cfg.lanes) as u32,
+            data: vec![vec![0; bank_words as usize]; cfg.lanes],
+            next_free: 0,
+        }
+    }
+
+    /// Number of banks/lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Words per bank.
+    pub fn bank_words(&self) -> u32 {
+        self.bank_words
+    }
+
+    /// Words per sub-array.
+    pub fn subarray_words(&self) -> u32 {
+        self.subarray_words
+    }
+
+    /// Which sub-array a per-bank word offset falls in.
+    pub fn subarray_of(&self, offset: u32) -> usize {
+        (offset / self.subarray_words) as usize
+    }
+
+    /// Allocate a range of `words_per_bank` words in every bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the SRF is out of space — stream programs are sized by
+    /// the caller (strip-mining exists precisely to make working sets fit).
+    pub fn alloc(&mut self, words_per_bank: u32) -> SrfRange {
+        assert!(
+            self.next_free + words_per_bank <= self.bank_words,
+            "SRF overflow: {} + {} > {} words per bank",
+            self.next_free,
+            words_per_bank,
+            self.bank_words
+        );
+        let r = SrfRange {
+            base: self.next_free,
+            words_per_bank,
+        };
+        self.next_free += words_per_bank;
+        r
+    }
+
+    /// Release all allocations (contents are preserved; ranges handed out
+    /// earlier must no longer be used).
+    pub fn free_all(&mut self) {
+        self.next_free = 0;
+    }
+
+    /// Words per bank still unallocated.
+    pub fn free_words(&self) -> u32 {
+        self.bank_words - self.next_free
+    }
+
+    /// Read bank `lane` at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn read(&self, lane: usize, offset: u32) -> Word {
+        self.data[lane][offset as usize]
+    }
+
+    /// Write bank `lane` at `offset`.
+    #[inline]
+    pub fn write(&mut self, lane: usize, offset: u32, value: Word) {
+        self.data[lane][offset as usize] = value;
+    }
+
+    /// Bank and per-bank offset of stream word `w` for a stream stored
+    /// record-interleaved over `range` with `record_words`-word records.
+    pub fn locate(&self, range: SrfRange, record_words: u32, w: u32) -> (usize, u32) {
+        let record = w / record_words;
+        let within = w % record_words;
+        let lane = (record as usize) % self.lanes;
+        let offset = range.base + (record / self.lanes as u32) * record_words + within;
+        debug_assert!(
+            offset < range.base + range.words_per_bank,
+            "stream word {w} overflows its range"
+        );
+        (lane, offset)
+    }
+
+    /// Read stream word `w` of a record-interleaved stream.
+    pub fn read_stream_word(&self, range: SrfRange, record_words: u32, w: u32) -> Word {
+        let (lane, off) = self.locate(range, record_words, w);
+        self.read(lane, off)
+    }
+
+    /// Write stream word `w` of a record-interleaved stream.
+    pub fn write_stream_word(&mut self, range: SrfRange, record_words: u32, w: u32, v: Word) {
+        let (lane, off) = self.locate(range, record_words, w);
+        self.write(lane, off, v);
+    }
+
+    /// Copy `data` into the range as a record-interleaved stream (used when
+    /// a memory load completes).
+    pub fn fill_stream(&mut self, range: SrfRange, record_words: u32, data: &[Word]) {
+        for (w, &v) in data.iter().enumerate() {
+            self.write_stream_word(range, record_words, w as u32, v);
+        }
+    }
+
+    /// Read `words` stream words out of the range in stream order (used
+    /// when a memory store is issued).
+    pub fn drain_stream(&self, range: SrfRange, record_words: u32, words: u32) -> Vec<Word> {
+        (0..words)
+            .map(|w| self.read_stream_word(range, record_words, w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrf_core::config::ConfigName;
+
+    fn srf() -> Srf {
+        Srf::new(&MachineConfig::preset(ConfigName::Isrf4))
+    }
+
+    #[test]
+    fn geometry() {
+        let s = srf();
+        assert_eq!(s.lanes(), 8);
+        assert_eq!(s.bank_words(), 4096);
+        assert_eq!(s.subarray_words(), 1024);
+        assert_eq!(s.subarray_of(0), 0);
+        assert_eq!(s.subarray_of(1023), 0);
+        assert_eq!(s.subarray_of(1024), 1);
+        assert_eq!(s.subarray_of(4095), 3);
+    }
+
+    #[test]
+    fn alloc_is_bump_and_bounded() {
+        let mut s = srf();
+        let a = s.alloc(1000);
+        let b = s.alloc(3000);
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 1000);
+        assert_eq!(s.free_words(), 96);
+        s.free_all();
+        assert_eq!(s.free_words(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "SRF overflow")]
+    fn alloc_overflow_panics() {
+        let mut s = srf();
+        s.alloc(5000);
+    }
+
+    #[test]
+    fn word_interleaved_layout() {
+        let s = srf();
+        let r = SrfRange {
+            base: 100,
+            words_per_bank: 64,
+        };
+        // record_words = 1: word w -> lane w % 8, offset base + w/8.
+        assert_eq!(s.locate(r, 1, 0), (0, 100));
+        assert_eq!(s.locate(r, 1, 7), (7, 100));
+        assert_eq!(s.locate(r, 1, 8), (0, 101));
+        assert_eq!(s.locate(r, 1, 17), (1, 102));
+    }
+
+    #[test]
+    fn record_interleaved_layout() {
+        let s = srf();
+        let r = SrfRange {
+            base: 0,
+            words_per_bank: 64,
+        };
+        // 2-word records: record r -> lane r % 8.
+        assert_eq!(s.locate(r, 2, 0), (0, 0));
+        assert_eq!(s.locate(r, 2, 1), (0, 1));
+        assert_eq!(s.locate(r, 2, 2), (1, 0));
+        assert_eq!(s.locate(r, 2, 16), (0, 2));
+        assert_eq!(s.locate(r, 2, 17), (0, 3));
+    }
+
+    #[test]
+    fn fill_and_drain_roundtrip() {
+        let mut s = srf();
+        let r = s.alloc(16);
+        let data: Vec<Word> = (0..100).collect();
+        s.fill_stream(r, 4, &data);
+        assert_eq!(s.drain_stream(r, 4, 100), data);
+        // Spot-check physical placement: record 9 (words 36..40) in lane 1.
+        assert_eq!(s.read(1, r.base + 4), 36);
+    }
+
+    #[test]
+    fn fft_column_locality() {
+        // The 2D-FFT property the ISRF version relies on: a 64x64 complex
+        // array stored as 2-word records, element (row, col) = record
+        // row*64+col, puts every element of column c in lane c % 8.
+        let s = srf();
+        let r = SrfRange {
+            base: 0,
+            words_per_bank: 1024,
+        };
+        for col in 0..64u32 {
+            for row in 0..64u32 {
+                let rec = row * 64 + col;
+                let (lane, _) = s.locate(r, 2, rec * 2);
+                assert_eq!(lane, (col % 8) as usize);
+            }
+        }
+    }
+}

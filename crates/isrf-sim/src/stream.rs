@@ -1,0 +1,615 @@
+//! Runtime state of machine-level streams during a kernel invocation.
+//!
+//! Each kernel stream slot is bound to an SRF-resident stream described by
+//! a [`StreamBinding`]. During execution the binding gets a per-invocation
+//! runtime state holding the stream buffers (8 words per lane per stream in
+//! the paper), the per-stream address FIFOs of indexed streams, and the
+//! cursors tracking progress through the stream.
+//!
+//! Sequential streams exchange `m` words per lane with the SRF on each
+//! port grant; clusters pop/push one word per access. Conditional streams
+//! keep a *global* buffer because elements are distributed dynamically to
+//! whichever lanes assert their condition. Indexed streams keep per-lane
+//! address FIFOs whose heads are expanded to single-word accesses by the
+//! hardware counters described in Section 4.4.
+
+use std::collections::VecDeque;
+
+use isrf_core::Word;
+
+use crate::srf::{Srf, SrfRange};
+
+/// A machine-level stream: an SRF range plus interpretation.
+///
+/// A binding may *window* its range: the `k`-th stream record maps to
+/// range record `start_record + (k / run_records) * stride_records +
+/// (k % run_records)` — contiguous runs of `run_records` records separated
+/// by `stride_records`. This expresses the strided access patterns stream
+/// machines support in their stream descriptors (e.g. the half-input
+/// streams of a constant-geometry FFT stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBinding {
+    /// SRF range holding the stream data.
+    pub range: SrfRange,
+    /// Words per record.
+    pub record_words: u32,
+    /// Stream length in records (sequential/conditional streams), or the
+    /// number of addressable records (indexed streams).
+    pub records: u32,
+    /// First record of the range this stream covers (lets several
+    /// sequential streams window one region, e.g. the FFT half-streams).
+    pub start_record: u32,
+    /// Records per contiguous run (`records` for an unwindowed stream).
+    pub run_records: u32,
+    /// Range records between run starts (`run_records` when unwindowed).
+    pub stride_records: u32,
+}
+
+impl StreamBinding {
+    /// Bind a whole range: `records` records of `record_words` starting at
+    /// record 0.
+    pub fn whole(range: SrfRange, record_words: u32, records: u32) -> Self {
+        StreamBinding {
+            range,
+            record_words,
+            records,
+            start_record: 0,
+            run_records: records.max(1),
+            stride_records: records.max(1),
+        }
+    }
+
+    /// Bind a strided window: `runs` runs of `run` records, run `i`
+    /// starting at range record `start + i * stride`.
+    pub fn windowed(
+        range: SrfRange,
+        record_words: u32,
+        start: u32,
+        run: u32,
+        stride: u32,
+        runs: u32,
+    ) -> Self {
+        // stride == 0 is a *periodic* window: every run re-reads the same
+        // records (used for repeating constant streams like FFT twiddles).
+        assert!(run > 0 && (stride == 0 || stride >= run), "runs must not overlap");
+        StreamBinding {
+            range,
+            record_words,
+            records: run * runs,
+            start_record: start,
+            run_records: run,
+            stride_records: stride,
+        }
+    }
+
+    /// Narrow a contiguous binding to `records` starting at record
+    /// `start` of the range.
+    pub fn slice(&self, start: u32, records: u32) -> StreamBinding {
+        let mut b = *self;
+        b.start_record = start;
+        b.records = records;
+        b.run_records = records.max(1);
+        b.stride_records = records.max(1);
+        b
+    }
+
+    /// Stream length in words.
+    pub fn words(&self) -> u32 {
+        self.records * self.record_words
+    }
+
+    /// Range record index of the `k`-th stream record.
+    pub fn absolute_record(&self, k: u32) -> u32 {
+        self.start_record + (k / self.run_records) * self.stride_records + k % self.run_records
+    }
+
+    /// Stream-word index (for [`Srf::locate`]) of the `k`-th word of this
+    /// binding.
+    pub fn stream_word(&self, k: u32) -> u32 {
+        self.absolute_record(k / self.record_words) * self.record_words + k % self.record_words
+    }
+}
+
+/// Per-lane word cursor over the records a lane owns.
+///
+/// For an unwindowed binding with `start % lanes == 0`, lane `l` owns
+/// stream records `l, l+N, l+2N, …`. Windowed bindings must keep the lane
+/// pattern aligned: `lanes` must divide `start_record`, `run_records` and
+/// `stride_records`, so that stream record `k` still lands in lane
+/// `k % lanes` (asserted at construction).
+#[derive(Debug, Clone)]
+struct LaneCursor {
+    /// Next stream-record index (k) this lane consumes.
+    next_k: u32,
+    /// Word within that record.
+    next_word: u32,
+    /// Words remaining for this lane.
+    remaining: u32,
+}
+
+fn lane_cursors(b: &StreamBinding, lanes: usize) -> Vec<LaneCursor> {
+    let n = lanes as u32;
+    if b.run_records < b.records {
+        // Windowed: keep record->lane assignment equal to k % lanes.
+        assert!(
+            b.start_record.is_multiple_of(n)
+                && b.run_records.is_multiple_of(n)
+                && b.stride_records.is_multiple_of(n),
+            "windowed stream must be lane-aligned (start/run/stride divisible by {n})"
+        );
+    }
+    (0..n)
+        .map(|l| {
+            // Lane of stream record k is absolute_record(k) % n. For
+            // aligned windows this equals (start + k) % n; scan for this
+            // lane's first k.
+            let first = (0..n.min(b.records)).find(|&k| b.absolute_record(k) % n == l);
+            match first {
+                Some(f) if f < b.records => {
+                    let count = (b.records - f).div_ceil(n);
+                    LaneCursor {
+                        next_k: f,
+                        next_word: 0,
+                        remaining: count * b.record_words,
+                    }
+                }
+                _ => LaneCursor {
+                    next_k: 0,
+                    next_word: 0,
+                    remaining: 0,
+                },
+            }
+        })
+        .collect()
+}
+
+impl LaneCursor {
+    /// Per-bank SRF offset of the next word, then advance.
+    fn advance(&mut self, b: &StreamBinding, lanes: usize) -> u32 {
+        debug_assert!(self.remaining > 0);
+        let abs = b.absolute_record(self.next_k);
+        let off = b.range.base + (abs / lanes as u32) * b.record_words + self.next_word;
+        self.next_word += 1;
+        if self.next_word == b.record_words {
+            self.next_word = 0;
+            self.next_k += lanes as u32;
+        }
+        self.remaining -= 1;
+        off
+    }
+}
+
+/// Sequential input stream state.
+#[derive(Debug, Clone)]
+pub struct SeqInState {
+    /// The binding this state reads.
+    pub binding: StreamBinding,
+    cursors: Vec<LaneCursor>,
+    /// Per-lane arrival queue: `(ready_cycle, word)`.
+    bufs: Vec<VecDeque<(u64, Word)>>,
+    buf_cap: usize,
+}
+
+impl SeqInState {
+    /// Create the runtime state for `binding` on an `lanes`-lane machine.
+    pub fn new(binding: StreamBinding, lanes: usize, buf_cap: usize) -> Self {
+        SeqInState {
+            binding,
+            cursors: lane_cursors(&binding, lanes),
+            bufs: vec![VecDeque::new(); lanes],
+            buf_cap,
+        }
+    }
+
+    /// Whether an SRF grant would make progress.
+    pub fn wants_grant(&self) -> bool {
+        self.cursors
+            .iter()
+            .zip(&self.bufs)
+            .any(|(c, b)| c.remaining > 0 && b.len() < self.buf_cap)
+    }
+
+    /// Apply one SRF grant: fetch up to `m` words per lane; returns words
+    /// moved (for traffic accounting).
+    pub fn grant(&mut self, srf: &Srf, m: usize, now: u64, latency: u64) -> u64 {
+        let mut moved = 0;
+        let lanes = self.bufs.len();
+        for (lane, (c, buf)) in self.cursors.iter_mut().zip(&mut self.bufs).enumerate() {
+            for _ in 0..m {
+                if c.remaining == 0 || buf.len() >= self.buf_cap {
+                    break;
+                }
+                let off = c.advance(&self.binding, lanes);
+                buf.push_back((now + latency, srf.read(lane, off)));
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Can lane `l` pop a word at `now`?
+    pub fn can_pop(&self, lane: usize, now: u64) -> bool {
+        self.bufs[lane].front().is_some_and(|&(t, _)| t <= now)
+    }
+
+    /// Pop the next word of lane `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SeqInState::can_pop`] is false.
+    pub fn pop(&mut self, lane: usize) -> Word {
+        self.bufs[lane].pop_front().expect("pop on empty buffer").1
+    }
+
+    /// True when every word has been fetched and consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursors.iter().all(|c| c.remaining == 0) && self.bufs.iter().all(|b| b.is_empty())
+    }
+
+    /// True when lane `l` has no words left (fetched or buffered). Reads
+    /// past the end of a lane's data return zero instead of stalling, so
+    /// lanes with less data stay occupied until the last lane finishes —
+    /// the load-imbalance behavior the paper describes.
+    pub fn lane_done(&self, lane: usize) -> bool {
+        self.cursors[lane].remaining == 0 && self.bufs[lane].is_empty()
+    }
+}
+
+/// Sequential output stream state.
+#[derive(Debug, Clone)]
+pub struct SeqOutState {
+    /// The binding this state writes.
+    pub binding: StreamBinding,
+    cursors: Vec<LaneCursor>,
+    bufs: Vec<VecDeque<Word>>,
+    buf_cap: usize,
+}
+
+impl SeqOutState {
+    /// Create the runtime state.
+    pub fn new(binding: StreamBinding, lanes: usize, buf_cap: usize) -> Self {
+        SeqOutState {
+            binding,
+            cursors: lane_cursors(&binding, lanes),
+            bufs: vec![VecDeque::new(); lanes],
+            buf_cap,
+        }
+    }
+
+    /// Whether a grant would drain anything. When `flush` is false only
+    /// full `m`-word blocks are drained (the hardware writes whole blocks);
+    /// after the kernel finishes, partial blocks flush too.
+    pub fn wants_grant(&self, m: usize, flush: bool) -> bool {
+        self.bufs
+            .iter()
+            .any(|b| b.len() >= m || (flush && !b.is_empty()))
+    }
+
+    /// Apply one SRF grant: drain up to `m` words per lane into the SRF.
+    pub fn grant(&mut self, srf: &mut Srf, m: usize, flush: bool) -> u64 {
+        let mut moved = 0;
+        let lanes = self.bufs.len();
+        for (lane, (c, buf)) in self.cursors.iter_mut().zip(&mut self.bufs).enumerate() {
+            if buf.len() < m && !flush {
+                continue;
+            }
+            for _ in 0..m {
+                let Some(w) = buf.pop_front() else { break };
+                if c.remaining == 0 {
+                    // Overproduced: the kernel wrote more than the binding
+                    // holds. Drop (callers size bindings to iterations).
+                    continue;
+                }
+                let off = c.advance(&self.binding, lanes);
+                srf.write(lane, off, w);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Can lane `l` accept a word?
+    pub fn can_push(&self, lane: usize) -> bool {
+        self.bufs[lane].len() < self.buf_cap
+    }
+
+    /// Push a word from lane `l`'s cluster.
+    pub fn push(&mut self, lane: usize, w: Word) {
+        debug_assert!(self.can_push(lane));
+        self.bufs[lane].push_back(w);
+    }
+
+    /// True when all buffered output has been written to the SRF.
+    pub fn drained(&self) -> bool {
+        self.bufs.iter().all(|b| b.is_empty())
+    }
+}
+
+/// Conditional input stream state (\[16\]): a single global cursor; elements
+/// go to whichever lanes assert their condition, in lane order.
+#[derive(Debug, Clone)]
+pub struct CondInState {
+    /// The binding this state reads.
+    pub binding: StreamBinding,
+    /// Next stream word to fetch from the SRF.
+    fetch_cursor: u32,
+    buf: VecDeque<(u64, Word)>,
+    buf_cap: usize,
+}
+
+impl CondInState {
+    /// Create the runtime state; capacity scales with lanes since the
+    /// buffer is global.
+    pub fn new(binding: StreamBinding, lanes: usize, per_lane_cap: usize) -> Self {
+        CondInState {
+            binding,
+            fetch_cursor: 0,
+            buf: VecDeque::new(),
+            buf_cap: per_lane_cap * lanes,
+        }
+    }
+
+    /// Whether an SRF grant would make progress.
+    pub fn wants_grant(&self) -> bool {
+        self.fetch_cursor < self.binding.words() && self.buf.len() < self.buf_cap
+    }
+
+    /// Fetch the next block of words (up to `lanes * m`) in stream order.
+    pub fn grant(&mut self, srf: &Srf, block_words: usize, now: u64, latency: u64) -> u64 {
+        let mut moved = 0;
+        for _ in 0..block_words {
+            if !self.wants_grant() {
+                break;
+            }
+            let w = srf.read_stream_word(
+                self.binding.range,
+                self.binding.record_words,
+                self.binding.stream_word(self.fetch_cursor),
+            );
+            self.buf.push_back((now + latency, w));
+            self.fetch_cursor += 1;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Are `k` words ready at `now`?
+    pub fn can_pop(&self, k: usize, now: u64) -> bool {
+        self.buf.len() >= k && self.buf.iter().take(k).all(|&(t, _)| t <= now)
+    }
+
+    /// Pop `k` words in stream order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k` words are buffered.
+    pub fn pop(&mut self, k: usize) -> Vec<Word> {
+        (0..k)
+            .map(|_| self.buf.pop_front().expect("cond pop underflow").1)
+            .collect()
+    }
+
+    /// Words of the stream not yet consumed (fetched or not).
+    pub fn remaining_words(&self) -> u32 {
+        self.binding.words() - self.fetch_cursor + self.buf.len() as u32
+    }
+}
+
+/// Conditional output stream state: lanes asserting their condition append
+/// in lane order; a global buffer drains to the SRF in stream order.
+#[derive(Debug, Clone)]
+pub struct CondOutState {
+    /// The binding this state writes.
+    pub binding: StreamBinding,
+    write_cursor: u32,
+    buf: VecDeque<Word>,
+    buf_cap: usize,
+}
+
+impl CondOutState {
+    /// Create the runtime state.
+    pub fn new(binding: StreamBinding, lanes: usize, per_lane_cap: usize) -> Self {
+        CondOutState {
+            binding,
+            write_cursor: 0,
+            buf: VecDeque::new(),
+            buf_cap: per_lane_cap * lanes,
+        }
+    }
+
+    /// Room for `k` more words?
+    pub fn can_push(&self, k: usize) -> bool {
+        self.buf.len() + k <= self.buf_cap
+    }
+
+    /// Append `words` in order.
+    pub fn push(&mut self, words: &[Word]) {
+        debug_assert!(self.can_push(words.len()));
+        self.buf.extend(words.iter().copied());
+    }
+
+    /// Whether a grant would drain anything.
+    pub fn wants_grant(&self, block_words: usize, flush: bool) -> bool {
+        self.buf.len() >= block_words || (flush && !self.buf.is_empty())
+    }
+
+    /// Drain up to a block into the SRF.
+    pub fn grant(&mut self, srf: &mut Srf, block_words: usize, flush: bool) -> u64 {
+        if self.buf.len() < block_words && !flush {
+            return 0;
+        }
+        let mut moved = 0;
+        for _ in 0..block_words {
+            let Some(w) = self.buf.pop_front() else { break };
+            if self.write_cursor >= self.binding.words() {
+                continue; // overproduced; dropped
+            }
+            srf.write_stream_word(
+                self.binding.range,
+                self.binding.record_words,
+                self.binding.stream_word(self.write_cursor),
+                w,
+            );
+            self.write_cursor += 1;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Words written to the SRF so far.
+    pub fn written(&self) -> u32 {
+        self.write_cursor
+    }
+
+    /// True when all buffered output has drained.
+    pub fn drained(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrf_core::config::{ConfigName, MachineConfig};
+
+    fn srf_with_stream(record_words: u32, records: u32) -> (Srf, StreamBinding) {
+        let mut srf = Srf::new(&MachineConfig::preset(ConfigName::Base));
+        let words = records * record_words;
+        let range = srf.alloc(words.div_ceil(8).max(1) + record_words);
+        let b = StreamBinding::whole(range, record_words, records);
+        let data: Vec<Word> = (0..words).collect();
+        srf.fill_stream(range, record_words, &data);
+        (srf, b)
+    }
+
+    #[test]
+    fn seq_in_pops_lane_elements_in_order() {
+        let (srf, b) = srf_with_stream(1, 32);
+        let mut s = SeqInState::new(b, 8, 8);
+        assert!(s.wants_grant());
+        s.grant(&srf, 4, 0, 0);
+        // Lane 0 sees words 0, 8, 16, 24; lane 3 sees 3, 11, ...
+        assert!(s.can_pop(0, 0));
+        assert_eq!(s.pop(0), 0);
+        assert_eq!(s.pop(0), 8);
+        assert_eq!(s.pop(3), 3);
+        assert_eq!(s.pop(3), 11);
+    }
+
+    #[test]
+    fn seq_in_latency_delays_availability() {
+        let (srf, b) = srf_with_stream(1, 8);
+        let mut s = SeqInState::new(b, 8, 8);
+        s.grant(&srf, 4, 10, 3);
+        assert!(!s.can_pop(0, 12));
+        assert!(s.can_pop(0, 13));
+    }
+
+    #[test]
+    fn seq_in_respects_buffer_capacity() {
+        let (srf, b) = srf_with_stream(1, 800);
+        let mut s = SeqInState::new(b, 8, 8);
+        let m1 = s.grant(&srf, 4, 0, 0);
+        let m2 = s.grant(&srf, 4, 0, 0);
+        assert_eq!(m1 + m2, 64, "two grants of 4 words x 8 lanes");
+        let m3 = s.grant(&srf, 4, 0, 0);
+        assert_eq!(m3, 0, "buffers are full at 8 words per lane");
+        assert!(!s.wants_grant());
+    }
+
+    #[test]
+    fn seq_in_exhaustion_and_tail() {
+        // 10 records on 8 lanes: lanes 0 and 1 get 2 records, rest 1.
+        let (srf, b) = srf_with_stream(1, 10);
+        let mut s = SeqInState::new(b, 8, 8);
+        while s.wants_grant() {
+            s.grant(&srf, 4, 0, 0);
+        }
+        assert_eq!(s.pop(0), 0);
+        assert_eq!(s.pop(0), 8);
+        assert_eq!(s.pop(1), 1);
+        assert_eq!(s.pop(1), 9);
+        assert_eq!(s.pop(7), 7);
+        assert!(!s.can_pop(7, 0), "lane 7 has exactly one record");
+        assert!(!s.exhausted(), "lanes 2..7 still hold their word");
+        for l in 2..7 {
+            s.pop(l);
+        }
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn seq_in_records_are_lane_local() {
+        let (srf, b) = srf_with_stream(4, 16);
+        let mut s = SeqInState::new(b, 8, 8);
+        s.grant(&srf, 4, 0, 0);
+        // Lane 2 owns record 2 = words 8..12.
+        assert_eq!(s.pop(2), 8);
+        assert_eq!(s.pop(2), 9);
+        assert_eq!(s.pop(2), 10);
+        assert_eq!(s.pop(2), 11);
+    }
+
+    #[test]
+    fn seq_in_start_record_windows_the_range() {
+        let (srf, mut b) = srf_with_stream(1, 64);
+        b.start_record = 32;
+        b.records = 16;
+        let mut s = SeqInState::new(b, 8, 8);
+        s.grant(&srf, 4, 0, 0);
+        // Record 32 belongs to lane 0 and holds word value 32.
+        assert_eq!(s.pop(0), 32);
+        assert_eq!(s.pop(1), 33);
+    }
+
+    #[test]
+    fn seq_out_roundtrip() {
+        let (mut srf, b) = srf_with_stream(1, 16);
+        let mut s = SeqOutState::new(b, 8, 8);
+        for lane in 0..8 {
+            s.push(lane, 100 + lane as u32);
+            s.push(lane, 200 + lane as u32);
+        }
+        assert!(!s.wants_grant(4, false), "blocks of 4 not yet full");
+        assert!(s.wants_grant(4, true));
+        s.grant(&mut srf, 4, true);
+        assert!(s.drained());
+        // Record r -> lane r%8: stream word 3 came from lane 3's first push.
+        assert_eq!(srf.read_stream_word(b.range, 1, 3), 103);
+        assert_eq!(srf.read_stream_word(b.range, 1, 11), 203);
+    }
+
+    #[test]
+    fn seq_out_backpressure() {
+        let (_, b) = srf_with_stream(1, 100);
+        let mut s = SeqOutState::new(b, 8, 4);
+        for _ in 0..4 {
+            assert!(s.can_push(0));
+            s.push(0, 1);
+        }
+        assert!(!s.can_push(0));
+    }
+
+    #[test]
+    fn cond_in_global_order() {
+        let (srf, b) = srf_with_stream(1, 16);
+        let mut s = CondInState::new(b, 8, 8);
+        s.grant(&srf, 32, 0, 0);
+        assert!(s.can_pop(3, 0));
+        assert_eq!(s.pop(3), [0, 1, 2]);
+        assert_eq!(s.pop(2), [3, 4]);
+        assert_eq!(s.remaining_words(), 11);
+    }
+
+    #[test]
+    fn cond_out_writes_stream_order() {
+        let (mut srf, b) = srf_with_stream(1, 8);
+        let mut s = CondOutState::new(b, 8, 8);
+        s.push(&[9, 8, 7]);
+        s.grant(&mut srf, 64, true);
+        assert_eq!(s.written(), 3);
+        assert_eq!(srf.read_stream_word(b.range, 1, 0), 9);
+        assert_eq!(srf.read_stream_word(b.range, 1, 2), 7);
+        assert!(s.drained());
+    }
+}

@@ -1,0 +1,320 @@
+//! SRF area model (Section 4.6).
+//!
+//! The model counts the structures visible in Figures 6 and 7 and sizes
+//! each with a 0.13 µm technology constant:
+//!
+//! * **Sequential SRF** (Figure 6): bitcell arrays, local wordline drivers,
+//!   sense amplifiers/precharge/write drivers, a 2:1 column mux for the
+//!   128-bit block access, and a *single* row decoder shared by all banks.
+//! * **ISRF1** adds a dedicated row decoder per bank plus the address
+//!   distribution bus that feeds them.
+//! * **ISRF4** (Figure 7) further adds independent predecode + row decode
+//!   per *sub-array*, the extra 8:1 column-mux path for one-word accesses,
+//!   and per-sub-array address busses.
+//! * **Cross-lane** adds the index network: a fully connected crossbar for
+//!   addresses plus an SRF-side network port per bank.
+//!
+//! Because variants share all common structures, the overhead ratios are
+//! determined by what is counted, not by the absolute calibration of the
+//! constants.
+
+use std::fmt;
+
+use crate::geometry::{SrfGeometry, SrfVariant};
+
+/// 0.13 µm technology constants, all in µm² per unit counted.
+///
+/// Values follow published 0.13 µm SRAM data (bitcell ≈ 2.4 µm²) and
+/// Cacti-3-era peripheral sizings. They can be swept; the Section 4.6
+/// overhead *ratios* are robust to proportional rescaling of the
+/// peripheral constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechParams {
+    /// 6T SRAM bitcell area.
+    pub bitcell: f64,
+    /// Local wordline driver, per row per sub-array.
+    pub wl_driver_per_row: f64,
+    /// Sense amp + precharge + write driver, per column.
+    pub sense_per_col: f64,
+    /// One column-mux level (pass transistor pair), per column.
+    pub colmux_per_col_per_level: f64,
+    /// Row decode NAND + wordline driver, per wordline.
+    pub rowdec_per_wordline: f64,
+    /// Fixed predecoder block (shared logic per decoder instance).
+    pub predecoder: f64,
+    /// Address bus routed across the bank array, per bit per bank reached.
+    pub addr_bus_per_bit_per_bank: f64,
+    /// Intra-bank address bus to one sub-array, per bit per sub-array.
+    pub addr_bus_per_bit_per_subarray: f64,
+    /// One crossbar crosspoint, per bit.
+    pub crossbar_crosspoint_per_bit: f64,
+    /// SRF-side network port (mux/demux + buffering), per bank.
+    pub network_port_per_bank: f64,
+    /// Fraction of total die occupied by the SRF in a typical stream
+    /// processor (from the Imagine VLSI statistics the paper cites \[13\]).
+    pub srf_fraction_of_die: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            bitcell: 2.43,
+            wl_driver_per_row: 25.0,
+            sense_per_col: 12.0,
+            colmux_per_col_per_level: 3.0,
+            rowdec_per_wordline: 55.0,
+            predecoder: 1800.0,
+            addr_bus_per_bit_per_bank: 900.0,
+            addr_bus_per_bit_per_subarray: 250.0,
+            crossbar_crosspoint_per_bit: 35.0,
+            network_port_per_bank: 8000.0,
+            srf_fraction_of_die: 0.135,
+        }
+    }
+}
+
+/// Itemized SRF area, in µm².
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AreaBreakdown {
+    /// Bitcell arrays.
+    pub bitcells: f64,
+    /// Local wordline drivers.
+    pub wl_drivers: f64,
+    /// Sense amplifiers, precharge and write drivers.
+    pub sense: f64,
+    /// Column multiplexers (sequential 2:1 path plus, on indexed variants,
+    /// the additional single-word mux levels).
+    pub col_mux: f64,
+    /// Row decoders and their wordline drivers.
+    pub decoders: f64,
+    /// Predecoder blocks.
+    pub predecoders: f64,
+    /// Address distribution busses.
+    pub addr_bus: f64,
+    /// Cross-lane index network (crossbar + SRF-side ports).
+    pub index_network: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in µm².
+    pub fn total(&self) -> f64 {
+        self.bitcells
+            + self.wl_drivers
+            + self.sense
+            + self.col_mux
+            + self.decoders
+            + self.predecoders
+            + self.addr_bus
+            + self.index_network
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total() / 1.0e6
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} mm² (cells {:.3}, periph {:.3}, decode {:.3}, bus {:.3}, net {:.3})",
+            self.total_mm2(),
+            self.bitcells / 1e6,
+            (self.wl_drivers + self.sense + self.col_mux) / 1e6,
+            (self.decoders + self.predecoders) / 1e6,
+            self.addr_bus / 1e6,
+            self.index_network / 1e6,
+        )
+    }
+}
+
+/// The area model: technology constants applied to an [`SrfGeometry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AreaModel {
+    /// Technology constants used for sizing.
+    pub tech: TechParams,
+}
+
+impl AreaModel {
+    /// Build a model with explicit technology constants.
+    pub fn new(tech: TechParams) -> Self {
+        AreaModel { tech }
+    }
+
+    /// Itemized area of `variant` for the given geometry.
+    pub fn breakdown(&self, geom: &SrfGeometry, variant: SrfVariant) -> AreaBreakdown {
+        let t = &self.tech;
+        let subarrays = (geom.banks * geom.subarrays_per_bank) as f64;
+        let rows = geom.rows as f64;
+        let cols = geom.cols as f64;
+        // Sequential 2:1 column mux is always present; indexed variants add
+        // the extra levels needed to select a single word from the row
+        // (8:1 total on the paper geometry).
+        let seq_mux_levels = (geom.seq_mux_degree() as f64).log2().max(1.0);
+        let idx_extra_levels = ((geom.indexed_mux_degree() as f64).log2()
+            - (geom.seq_mux_degree() as f64).log2())
+        .max(0.0);
+
+        let mut a = AreaBreakdown {
+            bitcells: subarrays * rows * cols * t.bitcell,
+            wl_drivers: subarrays * rows * t.wl_driver_per_row,
+            sense: subarrays * cols * t.sense_per_col,
+            col_mux: subarrays * cols * seq_mux_levels * t.colmux_per_col_per_level,
+            ..AreaBreakdown::default()
+        };
+
+        // One decoder instance covers `wordlines` global wordlines; the
+        // shared sequential decoder must span every row of every sub-array
+        // in a bank (global wordlines + sub-array select).
+        let bank_wordlines = (geom.subarrays_per_bank * geom.rows) as f64;
+        let decoder = |wordlines: f64| wordlines * t.rowdec_per_wordline + t.predecoder;
+        let addr_bits = geom.bank_addr_bits() as f64 + 4.0; // + control
+
+        match variant {
+            SrfVariant::Sequential => {
+                // Single decoder shared across all banks (Figure 6).
+                a.decoders = bank_wordlines * t.rowdec_per_wordline;
+                a.predecoders = t.predecoder;
+            }
+            SrfVariant::Inlane1 => {
+                // Dedicated decoder per bank + bank address distribution.
+                a.decoders = geom.banks as f64 * bank_wordlines * t.rowdec_per_wordline;
+                a.predecoders = geom.banks as f64 * t.predecoder;
+                a.addr_bus = addr_bits * geom.banks as f64 * t.addr_bus_per_bit_per_bank;
+            }
+            SrfVariant::Inlane4 | SrfVariant::CrossLane => {
+                // Independent predecode + row decode per sub-array
+                // (Figure 7), extra single-word column-mux path, and
+                // intra-bank address busses to each sub-array.
+                let per_bank_decode = geom.subarrays_per_bank as f64 * decoder(rows);
+                a.decoders = geom.banks as f64
+                    * geom.subarrays_per_bank as f64
+                    * rows
+                    * t.rowdec_per_wordline;
+                a.predecoders =
+                    geom.banks as f64 * (per_bank_decode - a.decoders / geom.banks as f64);
+                a.col_mux += subarrays * cols * idx_extra_levels * t.colmux_per_col_per_level;
+                a.addr_bus = addr_bits * geom.banks as f64 * t.addr_bus_per_bit_per_bank
+                    + addr_bits
+                        * geom.banks as f64
+                        * (geom.subarrays_per_bank as f64 - 1.0)
+                        * t.addr_bus_per_bit_per_subarray;
+                if variant == SrfVariant::CrossLane {
+                    let n = geom.banks as f64;
+                    a.index_network = n * n * addr_bits * t.crossbar_crosspoint_per_bit
+                        + n * t.network_port_per_bank;
+                }
+            }
+        }
+        a
+    }
+
+    /// Total area of `variant` in µm².
+    pub fn srf_area_um2(&self, geom: &SrfGeometry, variant: SrfVariant) -> f64 {
+        self.breakdown(geom, variant).total()
+    }
+
+    /// Fractional area overhead of `variant` relative to the sequential SRF
+    /// of identical capacity (the Section 4.6 headline numbers).
+    pub fn overhead_vs_sequential(&self, geom: &SrfGeometry, variant: SrfVariant) -> f64 {
+        let base = self.srf_area_um2(geom, SrfVariant::Sequential);
+        self.srf_area_um2(geom, variant) / base - 1.0
+    }
+
+    /// Fractional *die* area overhead of `variant`, assuming the SRF
+    /// occupies [`TechParams::srf_fraction_of_die`] of the chip.
+    pub fn die_overhead(&self, geom: &SrfGeometry, variant: SrfVariant) -> f64 {
+        self.overhead_vs_sequential(geom, variant) * self.tech.srf_fraction_of_die
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (AreaModel, SrfGeometry) {
+        (AreaModel::default(), SrfGeometry::paper_default())
+    }
+
+    #[test]
+    fn sequential_area_is_dominated_by_bitcells() {
+        let (m, g) = model();
+        let b = m.breakdown(&g, SrfVariant::Sequential);
+        assert!(b.bitcells / b.total() > 0.9);
+        // 128 KB of 2.43 µm² cells is ~2.5 mm²; periphery brings it to ~2.8.
+        assert!(b.total_mm2() > 2.5 && b.total_mm2() < 3.2, "{}", b);
+    }
+
+    #[test]
+    fn isrf1_overhead_matches_paper() {
+        let (m, g) = model();
+        let o = m.overhead_vs_sequential(&g, SrfVariant::Inlane1);
+        assert!((0.09..=0.13).contains(&o), "ISRF1 overhead {o:.3} vs paper 0.11");
+    }
+
+    #[test]
+    fn isrf4_overhead_matches_paper() {
+        let (m, g) = model();
+        let o = m.overhead_vs_sequential(&g, SrfVariant::Inlane4);
+        assert!((0.16..=0.20).contains(&o), "ISRF4 overhead {o:.3} vs paper 0.18");
+    }
+
+    #[test]
+    fn crosslane_overhead_matches_paper() {
+        let (m, g) = model();
+        let o = m.overhead_vs_sequential(&g, SrfVariant::CrossLane);
+        assert!((0.20..=0.24).contains(&o), "cross-lane overhead {o:.3} vs paper 0.22");
+    }
+
+    #[test]
+    fn overheads_are_monotone_in_capability() {
+        let (m, g) = model();
+        let mut prev = -1.0;
+        for v in SrfVariant::ALL {
+            let o = m.overhead_vs_sequential(&g, v);
+            assert!(o > prev, "{v:?} overhead {o} not > {prev}");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn die_overhead_is_one_point_five_to_three_percent() {
+        let (m, g) = model();
+        let lo = m.die_overhead(&g, SrfVariant::Inlane1);
+        let hi = m.die_overhead(&g, SrfVariant::CrossLane);
+        assert!(lo > 0.012 && lo < 0.02, "die overhead {lo:.4}");
+        assert!(hi > 0.025 && hi < 0.033, "die overhead {hi:.4}");
+    }
+
+    #[test]
+    fn ratios_robust_to_peripheral_rescale() {
+        // Scale every peripheral constant by 1.3x; the ISRF4 overhead must
+        // stay in a sane band because the same structures scale together.
+        let mut t = TechParams::default();
+        for f in [
+            &mut t.wl_driver_per_row,
+            &mut t.sense_per_col,
+            &mut t.colmux_per_col_per_level,
+            &mut t.rowdec_per_wordline,
+            &mut t.predecoder,
+            &mut t.addr_bus_per_bit_per_bank,
+            &mut t.addr_bus_per_bit_per_subarray,
+            &mut t.crossbar_crosspoint_per_bit,
+            &mut t.network_port_per_bank,
+        ] {
+            *f *= 1.3;
+        }
+        let m = AreaModel::new(t);
+        let g = SrfGeometry::paper_default();
+        let o = m.overhead_vs_sequential(&g, SrfVariant::Inlane4);
+        assert!((0.12..=0.28).contains(&o), "rescaled overhead {o:.3}");
+    }
+
+    #[test]
+    fn breakdown_display_is_nonempty() {
+        let (m, g) = model();
+        let s = m.breakdown(&g, SrfVariant::CrossLane).to_string();
+        assert!(s.contains("mm²"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Physical SRF geometry shared by the area and energy models.
+
+use isrf_core::config::{MachineConfig, SrfConfig};
+
+/// Which SRF design is being costed (Section 4.6's three design points plus
+/// the sequential baseline).
+///
+/// The variants are cumulative in hardware structure:
+/// `Sequential ⊂ Inlane1 ⊂ Inlane4 ⊂ CrossLane`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrfVariant {
+    /// Conventional sequentially accessed SRF (Figure 6): one row decoder
+    /// shared across all banks, hierarchical bitlines, 128-bit block access
+    /// per bank.
+    Sequential,
+    /// ISRF1: a dedicated row decoder per bank so each lane may access a
+    /// different row; one indexed word per cycle per lane.
+    Inlane1,
+    /// ISRF4 (Figure 7): adds per-sub-array predecode/row-decode, an 8:1
+    /// column multiplexer per sub-array, and per-sub-array address busses,
+    /// allowing up to `s` independent one-word accesses per bank per cycle.
+    Inlane4,
+    /// ISRF4 plus cross-lane access: a dedicated index network (fully
+    /// connected crossbar) and SRF-side network ports (Figure 8(c)).
+    CrossLane,
+}
+
+impl SrfVariant {
+    /// All variants in increasing hardware order.
+    pub const ALL: [SrfVariant; 4] = [
+        SrfVariant::Sequential,
+        SrfVariant::Inlane1,
+        SrfVariant::Inlane4,
+        SrfVariant::CrossLane,
+    ];
+
+    /// The variant matching a machine configuration's SRF capabilities.
+    pub fn for_machine(m: &MachineConfig) -> SrfVariant {
+        match &m.srf.indexed {
+            None => SrfVariant::Sequential,
+            Some(idx) => {
+                if idx.crosslane {
+                    SrfVariant::CrossLane
+                } else if idx.inlane_words_per_cycle > 1 {
+                    SrfVariant::Inlane4
+                } else {
+                    SrfVariant::Inlane1
+                }
+            }
+        }
+    }
+}
+
+/// Physical organization of the SRF SRAM (Figure 6/7).
+///
+/// The paper's 128 KB example: 8 banks of 16 KB, each split into 4
+/// sub-arrays of 4 KB organized as 128 rows x 256 columns, with a 2:1
+/// column mux for the 128-bit sequential block access and an additional 8:1
+/// mux path for 32-bit indexed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrfGeometry {
+    /// Number of banks (= lanes).
+    pub banks: usize,
+    /// Sub-arrays per bank (`s`).
+    pub subarrays_per_bank: usize,
+    /// Rows per sub-array.
+    pub rows: usize,
+    /// Columns (bitlines) per sub-array.
+    pub cols: usize,
+    /// Word width in bits.
+    pub word_bits: usize,
+    /// Words per sequential block access per bank (`m`).
+    pub seq_access_words: usize,
+}
+
+impl SrfGeometry {
+    /// The paper's 128 KB, 8-bank, 4-sub-array geometry.
+    pub fn paper_default() -> Self {
+        SrfGeometry {
+            banks: 8,
+            subarrays_per_bank: 4,
+            rows: 128,
+            cols: 256,
+            word_bits: 32,
+            seq_access_words: 4,
+        }
+    }
+
+    /// Derive a geometry from an [`SrfConfig`], keeping sub-arrays near the
+    /// paper's 2:1 column-mux aspect ratio.
+    ///
+    /// The sub-array is sized so that `rows * cols = capacity_bits /
+    /// (banks * subarrays)` with `cols = 2 * seq_access_bits` when possible
+    /// (matching the hierarchical-bitline floorplan of Figure 6).
+    pub fn from_config(srf: &SrfConfig, lanes: usize) -> Self {
+        let word_bits = 32usize;
+        let bank_bits = srf.bank_words(lanes) * word_bits;
+        let sub_bits = bank_bits / srf.subarrays;
+        let seq_bits = srf.words_per_seq_access * word_bits;
+        // Prefer twice the access width (2:1 column mux); fall back to a
+        // square-ish array for tiny capacities.
+        let mut cols = 2 * seq_bits;
+        while cols > 1 && sub_bits / cols == 0 {
+            cols /= 2;
+        }
+        let rows = (sub_bits / cols).max(1);
+        SrfGeometry {
+            banks: lanes,
+            subarrays_per_bank: srf.subarrays,
+            rows,
+            cols,
+            word_bits,
+            seq_access_words: srf.words_per_seq_access,
+        }
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> usize {
+        self.banks * self.subarrays_per_bank * self.rows * self.cols
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bits() / 8
+    }
+
+    /// Bits transferred by one sequential block access in one bank.
+    pub fn seq_access_bits(&self) -> usize {
+        self.seq_access_words * self.word_bits
+    }
+
+    /// Column-mux degree for indexed (single-word) access: how many columns
+    /// share one output bit when reading a single word from a sub-array.
+    pub fn indexed_mux_degree(&self) -> usize {
+        (self.cols / self.word_bits).max(1)
+    }
+
+    /// Column-mux degree for the sequential block-access path.
+    pub fn seq_mux_degree(&self) -> usize {
+        (self.cols / self.seq_access_bits()).max(1)
+    }
+
+    /// Address bits needed to select a word within a bank.
+    pub fn bank_addr_bits(&self) -> u32 {
+        let words = (self.subarrays_per_bank * self.rows * self.cols / self.word_bits).max(2);
+        (words as f64).log2().ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrf_core::config::{ConfigName, MachineConfig};
+
+    #[test]
+    fn paper_geometry_is_128kb() {
+        let g = SrfGeometry::paper_default();
+        assert_eq!(g.capacity_bytes(), 128 * 1024);
+        assert_eq!(g.seq_access_bits(), 128);
+        assert_eq!(g.indexed_mux_degree(), 8, "8:1 mux per Figure 7");
+        assert_eq!(g.seq_mux_degree(), 2);
+        assert_eq!(g.bank_addr_bits(), 12); // 4096 words per bank
+    }
+
+    #[test]
+    fn from_config_matches_paper_default() {
+        let m = MachineConfig::preset(ConfigName::Isrf4);
+        let g = SrfGeometry::from_config(&m.srf, m.lanes);
+        assert_eq!(g, SrfGeometry::paper_default());
+    }
+
+    #[test]
+    fn from_config_small_capacity_does_not_panic() {
+        let mut srf = isrf_core::config::SrfConfig::sequential();
+        srf.capacity_bytes = 1024;
+        let g = SrfGeometry::from_config(&srf, 8);
+        assert!(g.rows >= 1 && g.cols >= 1);
+        assert_eq!(g.capacity_bytes(), 1024);
+    }
+
+    #[test]
+    fn variant_for_machine() {
+        assert_eq!(
+            SrfVariant::for_machine(&MachineConfig::preset(ConfigName::Base)),
+            SrfVariant::Sequential
+        );
+        assert_eq!(
+            SrfVariant::for_machine(&MachineConfig::preset(ConfigName::Cache)),
+            SrfVariant::Sequential
+        );
+        // Both evaluation ISRF configs include cross-lane support.
+        assert_eq!(
+            SrfVariant::for_machine(&MachineConfig::preset(ConfigName::Isrf1)),
+            SrfVariant::CrossLane
+        );
+        let mut m = MachineConfig::preset(ConfigName::Isrf4);
+        m.srf.indexed.as_mut().unwrap().crosslane = false;
+        assert_eq!(SrfVariant::for_machine(&m), SrfVariant::Inlane4);
+        m.srf.indexed.as_mut().unwrap().inlane_words_per_cycle = 1;
+        assert_eq!(SrfVariant::for_machine(&m), SrfVariant::Inlane1);
+    }
+}

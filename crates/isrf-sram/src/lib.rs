@@ -1,0 +1,42 @@
+//! Cacti-style SRAM area and energy model for stream register files.
+//!
+//! Section 4.6 of the paper estimates the hardware cost of indexed SRF
+//! access "using a modified version of the Cacti 3.0 models and custom
+//! floorplans": 11% extra SRF area for ISRF1 (per-bank row decoders), 18%
+//! for ISRF4 (adds per-sub-array predecoders, 8:1 column muxes and address
+//! busses) and 22% with cross-lane indexing (adds the index network), which
+//! corresponds to 1.5%–3% of the die of a typical stream processor. Indexed
+//! single-word accesses cost roughly 4x the per-word energy of sequential
+//! block accesses (~0.1 nJ), still an order of magnitude below the ~5 nJ of
+//! an off-chip DRAM access.
+//!
+//! This crate rebuilds that model at the same level of abstraction: it
+//! counts the physical structures each SRF variant adds (decoders,
+//! predecoders, column muxes, address busses, crossbars) and sizes them
+//! with 0.13 µm technology constants. The constants are documented in
+//! [`TechParams`]; the *ratios* between variants — the paper's actual
+//! claims — follow from structure counts, not from constant tuning.
+//!
+//! # Example
+//!
+//! ```
+//! use isrf_sram::{AreaModel, SrfGeometry, SrfVariant};
+//!
+//! let geom = SrfGeometry::paper_default();
+//! let model = AreaModel::default();
+//! let overhead = model.overhead_vs_sequential(&geom, SrfVariant::Inlane4);
+//! assert!(overhead > 0.10 && overhead < 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod geometry;
+pub mod timing;
+
+pub use area::{AreaBreakdown, AreaModel, TechParams};
+pub use energy::{EnergyModel, EnergyParams};
+pub use geometry::{SrfGeometry, SrfVariant};
+pub use timing::{DelayParams, TimingModel};

@@ -1,0 +1,35 @@
+//! Read-write data structures in the SRF (the paper's Section 7 future
+//! work): every cluster histograms its key stream into bank-resident bins
+//! using an in-lane indexed read-modify-write per key.
+//!
+//! ```sh
+//! cargo run --release --example histogram
+//! ```
+
+use isrf::apps::histogram::{run, run_with_keys, HistogramParams};
+use isrf::core::config::ConfigName;
+
+fn main() {
+    let params = HistogramParams::default();
+    println!(
+        "in-SRF histogram: {} keys per cluster into {} bank-resident bins",
+        params.keys_per_lane, params.buckets
+    );
+    let stats = run(ConfigName::Isrf4, &params);
+    println!(
+        "ISRF4: {} cycles, {} indexed reads + writes, all counts exact",
+        stats.cycles,
+        stats.srf.inlane_words
+    );
+
+    // Violate the software hazard discipline on purpose: every iteration
+    // updates the same bin, inside the address-FIFO + latency window.
+    let keys = vec![0u32; (params.keys_per_lane * 8) as usize];
+    let (_, lanes) = run_with_keys(ConfigName::Isrf4, &params, &keys);
+    println!(
+        "hazard demo: {} back-to-back updates of one bin landed as {} \
+         (read-write structures need the interlocks the paper leaves to \
+         future work)",
+        params.keys_per_lane, lanes[0][0]
+    );
+}

@@ -1,0 +1,25 @@
+//! Indexed stream register files — a complete Rust reproduction of
+//! *"Stream Register Files with Indexed Access"* (HPCA 2004).
+//!
+//! This meta-crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`core`] — machine configurations and statistics,
+//! * [`sram`] — the SRAM area/energy model (Section 4.6),
+//! * [`mem`] — DRAM, vector cache and the stream memory controller,
+//! * [`kernel`] — the kernel IR and modulo scheduler,
+//! * [`sim`] — the cycle-level stream-processor simulator,
+//! * [`apps`] — the paper's benchmarks and microbenchmarks,
+//! * [`lang`] — the KernelC-subset front-end (Section 4.7).
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use isrf_apps as apps;
+pub use isrf_core as core;
+pub use isrf_kernel as kernel;
+pub use isrf_lang as lang;
+pub use isrf_mem as mem;
+pub use isrf_sim as sim;
+pub use isrf_sram as sram;

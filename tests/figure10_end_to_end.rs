@@ -1,0 +1,90 @@
+//! End-to-end integration: the paper's Figure 10 KernelC source compiled
+//! by `isrf-lang`, scheduled by `isrf-kernel`, and executed on the
+//! `isrf-sim` machine against `isrf-mem`'s memory system.
+
+use std::rc::Rc;
+
+use isrf::core::config::{ConfigName, MachineConfig};
+use isrf::kernel::sched::{schedule, SchedParams};
+use isrf::mem::AddrPattern;
+use isrf::sim::{Machine, StreamProgram};
+
+const FIGURE_10: &str = r#"
+kernel lookup(
+    istream<int> in,
+    idxl_istream<int> LUT,
+    ostream<int> out) {
+  int a, b, c;
+  while (!eos(in)) {
+    in >> a;
+    LUT[a] >> b;
+    c = a + b;
+    out << c;
+  }
+}
+"#;
+
+#[test]
+fn figure_10_compiles_and_runs() {
+    let kernel = Rc::new(isrf::lang::parse_kernel(FIGURE_10).expect("parses"));
+    let cfg = MachineConfig::preset(ConfigName::Isrf4);
+    let sched = schedule(&kernel, &SchedParams::from_machine(&cfg)).expect("schedules");
+    let mut m = Machine::new(cfg).expect("machine builds");
+
+    // Table entry e = 3e + 7, replicated per lane; inputs cycle 0..256.
+    let lanes = 8u32;
+    for e in 0..256u32 {
+        for l in 0..lanes {
+            m.mem_mut().memory_mut().write(e * lanes + l, 3 * e + 7);
+        }
+    }
+    let n = 256u32;
+    for i in 0..n {
+        m.mem_mut().memory_mut().write(0x1_0000 + i, (i * 11) % 256);
+    }
+
+    let lut = m.alloc_stream(1, 256 * lanes);
+    let input = m.alloc_stream(1, n);
+    let output = m.alloc_stream(1, n);
+    let mut p = StreamProgram::new();
+    let l1 = p.load(AddrPattern::contiguous(0, 256 * lanes), lut, false, &[]);
+    let l2 = p.load(AddrPattern::contiguous(0x1_0000, n), input, false, &[]);
+    let k = p.kernel(
+        Rc::clone(&kernel),
+        sched,
+        vec![input, lut, output],
+        (n / lanes) as u64,
+        &[l1, l2],
+    );
+    p.store(output, AddrPattern::contiguous(0x2_0000, n), false, &[k]);
+    let stats = m.run(&p);
+
+    for i in 0..n {
+        let a = (i * 11) % 256;
+        assert_eq!(
+            m.mem().memory().read(0x2_0000 + i),
+            a + 3 * a + 7,
+            "element {i}"
+        );
+    }
+    assert_eq!(stats.srf.inlane_words, n as u64, "one lookup per element");
+    assert!(stats.cycles > 0);
+}
+
+#[test]
+fn figure_10_needs_an_indexed_srf() {
+    let kernel = Rc::new(isrf::lang::parse_kernel(FIGURE_10).expect("parses"));
+    // Scheduling is machine-independent...
+    let base_cfg = MachineConfig::preset(ConfigName::Base);
+    let sched = schedule(&kernel, &SchedParams::from_machine(&base_cfg)).expect("schedules");
+    // ...but binding an indexed stream on a sequential-only SRF panics
+    // with a clear message when the kernel is dispatched.
+    let mut m = Machine::new(base_cfg).unwrap();
+    let lut = m.alloc_stream(1, 256 * 8);
+    let input = m.alloc_stream(1, 64);
+    let output = m.alloc_stream(1, 64);
+    let mut p = StreamProgram::new();
+    p.kernel(kernel, sched, vec![input, lut, output], 8, &[]);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.run(&p)));
+    assert!(r.is_err(), "indexed kernels must not run on Base");
+}
