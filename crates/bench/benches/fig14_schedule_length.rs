@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("schedule_rijndael_750_ops", |b| {
         b.iter(|| schedule(&rij, &params).unwrap())
     });
-    g.bench_function("schedule_sort2", |b| b.iter(|| schedule(&s2, &params).unwrap()));
+    g.bench_function("schedule_sort2", |b| {
+        b.iter(|| schedule(&s2, &params).unwrap())
+    });
     g.finish();
     println!("\nFigure 14 (normalized II vs separation):");
     for (name, pts) in isrf_bench::fig14() {

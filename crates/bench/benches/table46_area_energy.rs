@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
     });
     println!("\nSection 4.6 (SRF area overhead, die overhead):");
     for (v, srf, die) in isrf_bench::area_table() {
-        println!("  {v:?}: +{:.1}% SRF, +{:.2}% die", srf * 100.0, die * 100.0);
+        println!(
+            "  {v:?}: +{:.1}% SRF, +{:.2}% die",
+            srf * 100.0,
+            die * 100.0
+        );
     }
     let (seq, inl, xl, dram) = isrf_bench::energy_table();
     println!("Section 4.5 energy: seq {seq:.4} nJ, in-lane {inl:.4} nJ, cross-lane {xl:.4} nJ, DRAM {dram:.1} nJ");

@@ -83,7 +83,10 @@ fn energy() {
     let (seq, inl, xl, dram) = figs::energy_table();
     println!("== Section 4.5: access energy (paper: ~0.1 nJ indexed, ~4x seq, ~5 nJ DRAM) ==");
     println!("sequential word  {seq:.4} nJ");
-    println!("in-lane indexed  {inl:.4} nJ ({:.1}x sequential)", inl / seq);
+    println!(
+        "in-lane indexed  {inl:.4} nJ ({:.1}x sequential)",
+        inl / seq
+    );
     println!("cross-lane       {xl:.4} nJ");
     println!("DRAM access      {dram:.2} nJ ({:.0}x indexed)", dram / inl);
 }
@@ -190,6 +193,11 @@ fn summary(p: Profile) {
     }
 }
 
+const TARGETS: [&str; 14] = [
+    "all", "table3", "table4", "area", "energy", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "summary",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let p = profile(&args);
@@ -198,6 +206,13 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
+    if !TARGETS.contains(&what) {
+        eprintln!(
+            "unknown target `{what}`; expected one of: {}",
+            TARGETS.join(" ")
+        );
+        std::process::exit(2);
+    }
     let all = what == "all";
     if all || what == "table3" {
         table3();

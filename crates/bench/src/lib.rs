@@ -11,6 +11,7 @@
 
 use isrf_apps::common::set_separation_override;
 use isrf_apps::{fft2d, filter, igraph, micro, rijndael, sort};
+use isrf_check::run_parallel;
 use isrf_core::config::{ConfigName, MachineConfig};
 use isrf_core::stats::RunStats;
 use isrf_kernel::ir::Kernel;
@@ -83,13 +84,22 @@ pub fn run_benchmark(name: &str, cfg: ConfigName, profile: Profile) -> RunStats 
 }
 
 /// Figure 11: off-chip memory traffic of ISRF and Cache normalized to Base.
+///
+/// All benchmark × config points run concurrently via the sweep driver;
+/// results are grouped back per benchmark in input order, so the output is
+/// identical to a serial sweep.
 pub fn fig11(profile: Profile) -> Vec<(String, f64, f64)> {
+    const CFGS: [ConfigName; 3] = [ConfigName::Base, ConfigName::Isrf4, ConfigName::Cache];
+    let points: Vec<(&str, ConfigName)> = BENCHMARKS
+        .iter()
+        .flat_map(|&name| CFGS.iter().map(move |&cfg| (name, cfg)))
+        .collect();
+    let stats = run_parallel(&points, |&(name, cfg)| run_benchmark(name, cfg, profile));
     BENCHMARKS
         .iter()
-        .map(|&name| {
-            let base = run_benchmark(name, ConfigName::Base, profile);
-            let isrf = run_benchmark(name, ConfigName::Isrf4, profile);
-            let cache = run_benchmark(name, ConfigName::Cache, profile);
+        .zip(stats.chunks_exact(CFGS.len()))
+        .map(|(&name, s)| {
+            let (base, isrf, cache) = (&s[0], &s[1], &s[2]);
             (
                 name.to_string(),
                 isrf.mem.normalized_to(&base.mem),
@@ -119,21 +129,28 @@ impl Fig12Row {
     }
 }
 
-/// Figure 12: execution-time breakdowns for all benchmarks and configs.
+/// Figure 12: execution-time breakdowns for all benchmarks and configs,
+/// with every benchmark × config point simulated concurrently.
 pub fn fig12(profile: Profile) -> Vec<Fig12Row> {
+    let points: Vec<(&str, ConfigName)> = BENCHMARKS
+        .iter()
+        .flat_map(|&name| ConfigName::ALL.iter().map(move |&cfg| (name, cfg)))
+        .collect();
+    let stats = run_parallel(&points, |&(name, cfg)| run_benchmark(name, cfg, profile));
     let mut rows = Vec::new();
-    for &name in &BENCHMARKS {
-        let base = run_benchmark(name, ConfigName::Base, profile);
-        for cfg in ConfigName::ALL {
-            let stats = if cfg == ConfigName::Base {
-                base
-            } else {
-                run_benchmark(name, cfg, profile)
-            };
+    for (group, per_cfg) in BENCHMARKS
+        .iter()
+        .zip(stats.chunks_exact(ConfigName::ALL.len()))
+    {
+        let base = per_cfg[ConfigName::ALL
+            .iter()
+            .position(|&c| c == ConfigName::Base)
+            .expect("Base is a config")];
+        let d = base.cycles.max(1) as f64;
+        for (&cfg, stats) in ConfigName::ALL.iter().zip(per_cfg) {
             let b = stats.breakdown;
-            let d = base.cycles.max(1) as f64;
             rows.push(Fig12Row {
-                benchmark: name.to_string(),
+                benchmark: group.to_string(),
                 config: cfg,
                 parts: [
                     b.kernel_loop as f64 / d,
@@ -150,16 +167,13 @@ pub fn fig12(profile: Profile) -> Vec<Fig12Row> {
 /// Figure 13: sustained SRF bandwidth demands (words/cycle/lane) per
 /// benchmark on ISRF4, split `[sequential, cross-lane, in-lane]`.
 pub fn fig13(profile: Profile) -> Vec<(String, [f64; 3])> {
-    BENCHMARKS
-        .iter()
-        .map(|&name| {
-            let s = run_benchmark(name, ConfigName::Isrf4, profile);
-            (
-                name.to_string(),
-                s.srf.per_cycle_per_lane(s.main_loop_cycles, 8),
-            )
-        })
-        .collect()
+    run_parallel(&BENCHMARKS, |&name| {
+        let s = run_benchmark(name, ConfigName::Isrf4, profile);
+        (
+            name.to_string(),
+            s.srf.per_cycle_per_lane(s.main_loop_cycles, 8),
+        )
+    })
 }
 
 /// The kernels of the Figure 14–16 studies, by paper name.
@@ -217,43 +231,56 @@ pub fn fig14() -> Vec<(String, Vec<(u32, f64)>)> {
 /// in-lane separation sweeps, normalized to each benchmark's minimum.
 /// Returns `(benchmark, Vec<(separation, normalized cycles)>)`.
 pub fn fig15(profile: Profile) -> Vec<(String, Vec<(u32, f64)>)> {
-    let mut out = Vec::new();
-    for name in ["FFT 2D", "Rijndael", "Sort", "Filter"] {
-        let mut pts = Vec::new();
-        for sep in (2..=10u32).step_by(2) {
-            set_separation_override(Some((sep, 20)));
-            let s = run_benchmark(name, ConfigName::Isrf4, profile);
-            pts.push((sep, s.cycles as f64));
-        }
-        set_separation_override(None);
-        let min = pts.iter().map(|p| p.1).fold(f64::MAX, f64::min);
-        out.push((
-            name.to_string(),
-            pts.into_iter().map(|(s, c)| (s, c / min)).collect(),
-        ));
-    }
-    out
+    separation_sweep(
+        &["FFT 2D", "Rijndael", "Sort", "Filter"],
+        &(2..=10u32).step_by(2).collect::<Vec<_>>(),
+        |sep| (sep, 20),
+        profile,
+    )
 }
 
 /// Figure 16: execution time of the cross-lane-indexed benchmarks as the
 /// cross-lane separation sweeps, normalized to each benchmark's minimum.
 pub fn fig16(profile: Profile) -> Vec<(String, Vec<(u32, f64)>)> {
-    let mut out = Vec::new();
-    for name in ["IG_DMS", "IG_DCS"] {
-        let mut pts = Vec::new();
-        for sep in (4..=28u32).step_by(4) {
-            set_separation_override(Some((6, sep)));
-            let s = run_benchmark(name, ConfigName::Isrf4, profile);
-            pts.push((sep, s.cycles as f64));
-        }
+    separation_sweep(
+        &["IG_DMS", "IG_DCS"],
+        &(4..=28u32).step_by(4).collect::<Vec<_>>(),
+        |sep| (6, sep),
+        profile,
+    )
+}
+
+/// Shared driver for the Figure 15/16 separation sweeps: every
+/// (benchmark, separation) point is its own parallel work item. The
+/// address/data separation override is thread-local, so each worker sets
+/// it just for its point and clears it before returning the stats.
+fn separation_sweep(
+    names: &[&str],
+    seps: &[u32],
+    over: impl Fn(u32) -> (u32, u32) + Sync,
+    profile: Profile,
+) -> Vec<(String, Vec<(u32, f64)>)> {
+    let points: Vec<(&str, u32)> = names
+        .iter()
+        .flat_map(|&name| seps.iter().map(move |&sep| (name, sep)))
+        .collect();
+    let cycles = run_parallel(&points, |&(name, sep)| {
+        set_separation_override(Some(over(sep)));
+        let s = run_benchmark(name, ConfigName::Isrf4, profile);
         set_separation_override(None);
-        let min = pts.iter().map(|p| p.1).fold(f64::MAX, f64::min);
-        out.push((
-            name.to_string(),
-            pts.into_iter().map(|(s, c)| (s, c / min)).collect(),
-        ));
-    }
-    out
+        s.cycles as f64
+    });
+    names
+        .iter()
+        .zip(cycles.chunks_exact(seps.len()))
+        .map(|(&name, c)| {
+            let min = c.iter().copied().fold(f64::MAX, f64::min);
+            (
+                name.to_string(),
+                seps.iter().zip(c).map(|(&s, &cy)| (s, cy / min)).collect(),
+            )
+        })
+        .collect()
 }
 
 /// Figure 17: in-lane indexed throughput vs sub-arrays and FIFO depth.
@@ -323,19 +350,16 @@ pub fn energy_table() -> (f64, f64, f64, f64) {
 pub fn summary(profile: Profile) -> Vec<(String, f64, f64, f64)> {
     let em = EnergyModel::default();
     let geom = SrfGeometry::paper_default();
-    BENCHMARKS
-        .iter()
-        .map(|&name| {
-            let base = run_benchmark(name, ConfigName::Base, profile);
-            let isrf = run_benchmark(name, ConfigName::Isrf4, profile);
-            (
-                name.to_string(),
-                isrf.speedup_over(&base),
-                1.0 - isrf.mem.normalized_to(&base.mem),
-                em.run_energy_nj(&geom, &isrf) / em.run_energy_nj(&geom, &base).max(1e-9),
-            )
-        })
-        .collect()
+    run_parallel(&BENCHMARKS, |&name| {
+        let base = run_benchmark(name, ConfigName::Base, profile);
+        let isrf = run_benchmark(name, ConfigName::Isrf4, profile);
+        (
+            name.to_string(),
+            isrf.speedup_over(&base),
+            1.0 - isrf.mem.normalized_to(&base.mem),
+            em.run_energy_nj(&geom, &isrf) / em.run_energy_nj(&geom, &base).max(1e-9),
+        )
+    })
 }
 
 #[cfg(test)]

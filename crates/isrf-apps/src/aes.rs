@@ -248,12 +248,7 @@ mod tests {
         let blocks = vec![[1, 2, 3, 4], [5, 6, 7, 8]];
         let ct = encrypt_cbc(&rk, &blocks);
         assert_eq!(ct[0], encrypt_block_reference(&rk, [1, 2, 3, 4]));
-        let x = [
-            5 ^ ct[0][0],
-            6 ^ ct[0][1],
-            7 ^ ct[0][2],
-            8 ^ ct[0][3],
-        ];
+        let x = [5 ^ ct[0][0], 6 ^ ct[0][1], 7 ^ ct[0][2], 8 ^ ct[0][3]];
         assert_eq!(ct[1], encrypt_block_reference(&rk, x));
     }
 

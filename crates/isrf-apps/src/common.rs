@@ -6,7 +6,7 @@ use isrf_core::config::{ConfigName, MachineConfig};
 use isrf_kernel::ir::Kernel;
 use isrf_kernel::sched::{schedule, SchedParams, Schedule};
 use isrf_mem::AddrPattern;
-use isrf_sim::Machine;
+use isrf_sim::{Machine, StreamProgram};
 
 thread_local! {
     static SEPARATION_OVERRIDE: Cell<Option<(u32, u32)>> = const { Cell::new(None) };
@@ -31,6 +31,23 @@ pub fn machine(cfg: ConfigName) -> Machine {
         c.sched.crosslane_addr_data_separation = xl;
     }
     Machine::new(c).expect("presets validate")
+}
+
+/// A benchmark run split at the machine/program boundary: the machine is
+/// fully set up (data laid out in memory and the SRF, any un-measured
+/// setup program already executed) and `program` is the measured stream
+/// program. `machine.run(&program)` produces the benchmark's stats; the
+/// split exists so a differential harness can execute the same program on
+/// an independent functional reference executor and compare outcomes.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The machine, ready to run the measured program.
+    pub machine: Machine,
+    /// The measured stream program.
+    pub program: StreamProgram,
+    /// Memory regions `(base, words)` holding the benchmark's final
+    /// output, for word-level result diffing.
+    pub outputs: Vec<(u32, u32)>,
 }
 
 /// Schedule a kernel with the machine's parameters.

@@ -21,7 +21,7 @@
 //! Results are verified against a naive O(n²)-per-dimension DFT.
 
 use std::f32::consts::PI;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
@@ -260,7 +260,7 @@ pub fn build_bf_idx_kernel(d: u32) -> Kernel {
     let data = b.stream("data", StreamKind::IdxInRead); // record = complex
     let twt = b.stream("twt", StreamKind::IdxInRead); // 32-entry table
     let outw = b.stream("out", StreamKind::IdxInWrite); // word-granular
-    // iteration i -> column q = i / 32, butterfly j = i % 32.
+                                                        // iteration i -> column q = i / 32, butterfly j = i % 32.
     let i = b.iter_id();
     let c31 = b.constant(31);
     let c5 = b.constant(5);
@@ -424,11 +424,14 @@ fn setup(m: &mut Machine, indexed: bool, params: &Fft2dParams) -> Setup {
     let y = m.alloc_stream(2, ELEMS);
     // One twiddle period per stage; the stage kernels re-read it with a
     // periodic (stride-0) window.
-    let tw_high: Vec<StreamBinding> = [HALF, 16, 8].iter().map(|&d| m.alloc_stream(2, d)).collect();
+    let tw_high: Vec<StreamBinding> = [HALF, 16, 8]
+        .iter()
+        .map(|&d| m.alloc_stream(2, d))
+        .collect();
     let tw_table = indexed.then(|| m.alloc_stream(2, HALF * lanes));
     let lane_consts = m.alloc_stream(6, lanes);
 
-    let init = Rc::new(build_scratch_init_kernel());
+    let init = Arc::new(build_scratch_init_kernel());
     let init_sched = schedule_for(m, &init);
     let mut p = StreamProgram::new();
     for (i, (tw, d)) in tw_high.iter().zip([HALF, 16, 8]).enumerate() {
@@ -456,7 +459,7 @@ fn setup(m: &mut Machine, indexed: bool, params: &Fft2dParams) -> Setup {
             &[],
         );
     }
-    p.kernel(Rc::clone(&init), init_sched, vec![lane_consts], 1, &[lc]);
+    p.kernel(Arc::clone(&init), init_sched, vec![lane_consts], 1, &[lc]);
     m.run(&p);
     m.reset_stats();
     Setup {
@@ -488,7 +491,7 @@ fn push_sequential_pass(
         let b_out = StreamBinding::windowed(other.range, 2, d, d, 2 * d, runs);
         let tw_in = StreamBinding::windowed(su.tw_high[si].range, 2, 0, d, 0, runs);
         last = p.kernel(
-            Rc::clone(&kernels.high[si].0),
+            Arc::clone(&kernels.high[si].0),
             kernels.high[si].1.clone(),
             vec![a_in, b_in, tw_in, a_out, b_out],
             (ELEMS / 2 / 8) as u64,
@@ -498,7 +501,7 @@ fn push_sequential_pass(
     }
     for si in 0..3 {
         last = p.kernel(
-            Rc::clone(&kernels.low[si].0),
+            Arc::clone(&kernels.low[si].0),
             kernels.low[si].1.clone(),
             vec![cur, other],
             (ELEMS / 8) as u64,
@@ -510,15 +513,15 @@ fn push_sequential_pass(
 }
 
 struct SeqKernels {
-    high: Vec<(Rc<Kernel>, isrf_kernel::Schedule)>,
-    low: Vec<(Rc<Kernel>, isrf_kernel::Schedule)>,
+    high: Vec<(Arc<Kernel>, isrf_kernel::Schedule)>,
+    low: Vec<(Arc<Kernel>, isrf_kernel::Schedule)>,
 }
 
 fn seq_kernels(m: &Machine) -> SeqKernels {
     let high = [HALF, 16, 8]
         .iter()
         .map(|&d| {
-            let k = Rc::new(build_bf_high_kernel(d));
+            let k = Arc::new(build_bf_high_kernel(d));
             let s = schedule_for(m, &k);
             (k, s)
         })
@@ -526,7 +529,7 @@ fn seq_kernels(m: &Machine) -> SeqKernels {
     let low = [4u32, 2, 1]
         .iter()
         .map(|&d| {
-            let k = Rc::new(build_bf_low_kernel(d));
+            let k = Arc::new(build_bf_low_kernel(d));
             let s = schedule_for(m, &k);
             (k, s)
         })
@@ -560,8 +563,9 @@ fn verify(m: &Machine, params: &Fft2dParams) {
     }
 }
 
-/// Run the Base/Cache version (reorder through memory between dimensions).
-fn run_base(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
+/// Prepare the Base/Cache version (reorder through memory between
+/// dimensions).
+fn prepare_base(cfg: ConfigName, params: &Fft2dParams) -> crate::common::Prepared {
     let mut m = machine(cfg);
     let cacheable = m.config().cache.is_some();
     let su = setup(&mut m, false, params);
@@ -574,7 +578,12 @@ fn run_base(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
         if let Some(d) = last_rep {
             deps.push(d);
         }
-        let load = p.load(AddrPattern::contiguous(IN_BASE, ELEMS * 2), su.x, false, &deps);
+        let load = p.load(
+            AddrPattern::contiguous(IN_BASE, ELEMS * 2),
+            su.x,
+            false,
+            &deps,
+        );
         let (pos1, k1) = push_sequential_pass(&mut p, &su, &kernels, su.x, su.y, load);
         // Reorder #1 through memory: store + transposed/bit-reversal-
         // corrected gather (Figure 3a).
@@ -584,8 +593,17 @@ fn run_base(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
             cacheable,
             &[k1],
         );
-        let (dst, other) = if pos1 == su.x { (su.x, su.y) } else { (su.y, su.x) };
-        let gt = p.load(transpose_gather_pattern(SCRATCH_BASE), dst, cacheable, &[st]);
+        let (dst, other) = if pos1 == su.x {
+            (su.x, su.y)
+        } else {
+            (su.y, su.x)
+        };
+        let gt = p.load(
+            transpose_gather_pattern(SCRATCH_BASE),
+            dst,
+            cacheable,
+            &[st],
+        );
         let (pos2, k2) = push_sequential_pass(&mut p, &su, &kernels, dst, other, gt);
         // Reorder #2: rotate back to natural row-major coefficient order,
         // again through memory.
@@ -597,23 +615,30 @@ fn run_base(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
         );
         let dst2 = if pos2 == su.x { su.y } else { su.x };
         let gt2 = p.load(base_unshuffle_gather(SCRATCH_BASE), dst2, cacheable, &[st2]);
-        let fin = p.store(dst2, AddrPattern::contiguous(OUT_BASE, ELEMS * 2), false, &[gt2]);
+        let fin = p.store(
+            dst2,
+            AddrPattern::contiguous(OUT_BASE, ELEMS * 2),
+            false,
+            &[gt2],
+        );
         last_rep = Some(fin);
     }
-    let stats = m.run(&p);
-    verify(&m, params);
-    stats
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(OUT_BASE, ELEMS * 2)],
+    }
 }
 
-/// Run the ISRF version (second dimension in place via indexed access).
-fn run_isrf(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
+/// Prepare the ISRF version (second dimension in place via indexed access).
+fn prepare_isrf(cfg: ConfigName, params: &Fft2dParams) -> crate::common::Prepared {
     let mut m = machine(cfg);
     let su = setup(&mut m, true, params);
     let kernels = seq_kernels(&m);
-    let idx_kernels: Vec<(Rc<Kernel>, isrf_kernel::Schedule)> = [HALF, 16, 8, 4, 2, 1]
+    let idx_kernels: Vec<(Arc<Kernel>, isrf_kernel::Schedule)> = [HALF, 16, 8, 4, 2, 1]
         .iter()
         .map(|&d| {
-            let k = Rc::new(build_bf_idx_kernel(d));
+            let k = Arc::new(build_bf_idx_kernel(d));
             let s = schedule_for(&m, &k);
             (k, s)
         })
@@ -627,7 +652,12 @@ fn run_isrf(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
         if let Some(d) = last_rep {
             deps.push(d);
         }
-        let load = p.load(AddrPattern::contiguous(IN_BASE, ELEMS * 2), su.x, false, &deps);
+        let load = p.load(
+            AddrPattern::contiguous(IN_BASE, ELEMS * 2),
+            su.x,
+            false,
+            &deps,
+        );
         let (pos1, k1) = push_sequential_pass(&mut p, &su, &kernels, su.x, su.y, load);
         // Second dimension: in-lane indexed stages, no memory reorder.
         let mut cur = pos1;
@@ -637,7 +667,7 @@ fn run_isrf(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
             // Indexed write stream is word-granular over the output region.
             let out_words = StreamBinding::whole(other.range, 1, ELEMS * 2);
             last = p.kernel(
-                Rc::clone(&idx_kernels[si].0),
+                Arc::clone(&idx_kernels[si].0),
                 idx_kernels[si].1.clone(),
                 vec![cur, twt, out_words],
                 256, // 8 columns x 32 butterflies per cluster
@@ -648,17 +678,32 @@ fn run_isrf(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
         let fin = p.store(cur, isrf_output_scatter(OUT_BASE), false, &[last]);
         last_rep = Some(fin);
     }
-    let stats = m.run(&p);
-    verify(&m, params);
-    stats
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(OUT_BASE, ELEMS * 2)],
+    }
+}
+
+/// Set up the machine (input, twiddles, un-measured setup program) and
+/// build the measured program without running it.
+pub fn prepare(cfg: ConfigName, params: &Fft2dParams) -> crate::common::Prepared {
+    match cfg {
+        ConfigName::Isrf1 | ConfigName::Isrf4 => prepare_isrf(cfg, params),
+        ConfigName::Base | ConfigName::Cache => prepare_base(cfg, params),
+    }
 }
 
 /// Run the benchmark; results are verified against the reference DFT.
+///
+/// # Panics
+///
+/// Panics if the simulated result diverges from the reference DFT.
 pub fn run(cfg: ConfigName, params: &Fft2dParams) -> RunStats {
-    match cfg {
-        ConfigName::Isrf1 | ConfigName::Isrf4 => run_isrf(cfg, params),
-        ConfigName::Base | ConfigName::Cache => run_base(cfg, params),
-    }
+    let mut pr = prepare(cfg, params);
+    let stats = pr.machine.run(&pr.program);
+    verify(&pr.machine, params);
+    stats
 }
 
 #[cfg(test)]
@@ -721,24 +766,24 @@ mod tests {
 
     #[test]
     fn base_functional() {
-        run_base(ConfigName::Base, &Fft2dParams { reps: 1, seed: 3 });
+        run(ConfigName::Base, &Fft2dParams { reps: 1, seed: 3 });
     }
 
     #[test]
     fn isrf_functional() {
-        run_isrf(ConfigName::Isrf4, &Fft2dParams { reps: 1, seed: 3 });
+        run(ConfigName::Isrf4, &Fft2dParams { reps: 1, seed: 3 });
     }
 
     #[test]
     fn cache_functional() {
-        run_base(ConfigName::Cache, &Fft2dParams { reps: 1, seed: 3 });
+        run(ConfigName::Cache, &Fft2dParams { reps: 1, seed: 3 });
     }
 
     #[test]
     fn isrf1_functional_and_slower_than_isrf4() {
         let p = Fft2dParams { reps: 1, seed: 3 };
-        let one = run_isrf(ConfigName::Isrf1, &p);
-        let four = run_isrf(ConfigName::Isrf4, &p);
+        let one = run(ConfigName::Isrf1, &p);
+        let four = run(ConfigName::Isrf4, &p);
         // The indexed FFT stages use several indexed streams, so ISRF1's
         // single indexed word per cycle per lane costs SRF stalls.
         assert!(one.cycles >= four.cycles);

@@ -19,7 +19,7 @@
 //! marked non-cacheable (the paper's cache policy) and `Cache` behaves
 //! exactly like `Base`. Results are verified against a direct convolution.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
@@ -233,8 +233,13 @@ fn lay_out_image(m: &mut Machine, params: &FilterParams) -> Vec<f32> {
     img
 }
 
-fn verify(m: &Machine, img: &[f32], rows: u32) {
-    let expect = reference(img, rows);
+fn verify(m: &Machine, rows: u32) {
+    // The input image survives untouched at IN_BASE; read it back rather
+    // than threading it through the prepare/run split.
+    let img: Vec<f32> = (0..rows * COLS)
+        .map(|i| as_f32(m.mem().memory().read(IN_BASE + i)))
+        .collect();
+    let expect = reference(&img, rows);
     for r in 0..rows {
         for x in 4..COLS {
             let got = as_f32(m.mem().memory().read(OUT_BASE + r * COLS + x));
@@ -247,8 +252,12 @@ fn verify(m: &Machine, img: &[f32], rows: u32) {
     }
 }
 
-/// Run the benchmark on `cfg`; verified against direct convolution.
-pub fn run(cfg: ConfigName, params: &FilterParams) -> RunStats {
+/// Set up the machine and build the measured program without running it.
+///
+/// # Panics
+///
+/// Panics if `params.rows` is not a positive multiple of the strip height.
+pub fn prepare(cfg: ConfigName, params: &FilterParams) -> crate::common::Prepared {
     assert!(
         params.rows.is_multiple_of(STRIP_ROWS) && params.rows >= STRIP_ROWS,
         "rows must be a multiple of {STRIP_ROWS}"
@@ -262,9 +271,9 @@ pub fn run(cfg: ConfigName, params: &FilterParams) -> RunStats {
         c.cluster.scratchpad_words = (BLOCK_ROWS * COLS) as usize;
         m = Machine::new(c).expect("config still valid");
     }
-    let img = lay_out_image(&mut m, params);
+    lay_out_image(&mut m, params);
 
-    let kernel = Rc::new(if indexed {
+    let kernel = Arc::new(if indexed {
         build_isrf_kernel()
     } else {
         build_base_kernel()
@@ -293,7 +302,7 @@ pub fn run(cfg: ConfigName, params: &FilterParams) -> RunStats {
             vec![input, output]
         };
         let iters = if indexed { B * COLS } else { BLOCK_ROWS * COLS } as u64;
-        let k = p.kernel(Rc::clone(&kernel), sched.clone(), bindings, iters, &[load]);
+        let k = p.kernel(Arc::clone(&kernel), sched.clone(), bindings, iters, &[load]);
         // Store only the valid rows: for Base the first 4 per lane are the
         // scratch-priming skew, for ISRF everything is valid.
         let (first_j, js) = if indexed { (0, B) } else { (4, B) };
@@ -301,8 +310,23 @@ pub fn run(cfg: ConfigName, params: &FilterParams) -> RunStats {
         let st = p.store(window, strip_store_pattern(row0, first_j, js), false, &[k]);
         prev = Some(st);
     }
-    let stats = m.run(&p);
-    verify(&m, &img, params.rows);
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(OUT_BASE, params.rows * COLS)],
+    }
+}
+
+/// Run the benchmark on `cfg`; verified against direct convolution.
+///
+/// # Panics
+///
+/// Panics if `params.rows` is not a positive multiple of the strip height,
+/// or the simulated result diverges from the reference convolution.
+pub fn run(cfg: ConfigName, params: &FilterParams) -> RunStats {
+    let mut pr = prepare(cfg, params);
+    let stats = pr.machine.run(&pr.program);
+    verify(&pr.machine, params.rows);
     stats
 }
 
@@ -311,10 +335,7 @@ mod tests {
     use super::*;
 
     fn small() -> FilterParams {
-        FilterParams {
-            rows: 32,
-            seed: 11,
-        }
+        FilterParams { rows: 32, seed: 11 }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! what happens when that discipline is violated — the motivation for the
 //! hardware interlocks the paper leaves to future work.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
@@ -102,7 +102,7 @@ pub fn run_with_keys(
     );
     let mut m = machine(cfg);
     m.mem_mut().memory_mut().write_block(KEY_BASE, keys);
-    let kernel = Rc::new(build_kernel());
+    let kernel = Arc::new(build_kernel());
     let sched = schedule_for(&m, &kernel);
 
     let n = params.keys_per_lane * 8;
@@ -115,7 +115,7 @@ pub fn run_with_keys(
     let mut p = StreamProgram::new();
     let l = p.load(AddrPattern::contiguous(KEY_BASE, n), key_stream, false, &[]);
     let k = p.kernel(
-        Rc::clone(&kernel),
+        Arc::clone(&kernel),
         sched,
         vec![key_stream, bins_view, bins_view],
         params.keys_per_lane as u64,

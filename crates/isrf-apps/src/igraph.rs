@@ -23,7 +23,7 @@
 //! against a host-side sweep with identical f32 arithmetic.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
@@ -170,11 +170,21 @@ pub fn reference(g: &Graph, fp_ops: u32) -> Vec<(f32, f32)> {
 }
 
 /// Emit the per-neighbor FP chain for value ids `(v0, v1)`.
-fn emit_neighbor(b: &mut KernelBuilder, acc: ValueId, v0: ValueId, v1: ValueId, fp_ops: u32) -> ValueId {
+fn emit_neighbor(
+    b: &mut KernelBuilder,
+    acc: ValueId,
+    v0: ValueId,
+    v1: ValueId,
+    fp_ops: u32,
+) -> ValueId {
     let c = b.constant_f(1.0001);
     let mut t = v0;
     for s in 0..fp_ops - 1 {
-        t = if s % 2 == 0 { b.fmul(t, c) } else { b.fadd(t, v1) };
+        t = if s % 2 == 0 {
+            b.fmul(t, c)
+        } else {
+            b.fadd(t, v1)
+        };
     }
     b.fadd(acc, t)
 }
@@ -241,8 +251,13 @@ const ADJ_BASE: u32 = 0x10_0000; // adjacency lists (d words per node)
 const OUT_BASE: u32 = 0x40_0000; // updated records
 const UNIQ_PTR_BASE: u32 = 0x60_0000; // per-strip condensed pointers
 
-/// Run one sweep of the dataset on `cfg`; verified against the reference.
-pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
+/// Set up the machine (graph image, host preprocessing) and build the
+/// measured program without running it.
+///
+/// # Panics
+///
+/// Panics if the dataset's strips don't tile the graph in lane multiples.
+pub fn prepare(cfg: ConfigName, ds: &IgDataset) -> crate::common::Prepared {
     let indexed = matches!(cfg, ConfigName::Isrf1 | ConfigName::Isrf4);
     let mut m = machine(cfg);
     let cacheable = m.config().cache.is_some();
@@ -259,7 +274,7 @@ pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
     let adj_words: Vec<Word> = g.adj.iter().flatten().copied().collect();
     m.mem_mut().memory_mut().write_block(ADJ_BASE, &adj_words);
 
-    let kernel = Rc::new(build_kernel(ds, indexed));
+    let kernel = Arc::new(build_kernel(ds, indexed));
     let sched = schedule_for(&m, &kernel);
 
     let strip_nodes = if indexed {
@@ -275,9 +290,9 @@ pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
     // Streams (double-buffered across strips).
     let mk = |m: &mut isrf_sim::Machine| {
         (
-            m.alloc_stream(2, strip_nodes),     // node records
-            m.alloc_stream(d, strip_nodes),     // pointer records
-            m.alloc_stream(2, strip_nodes),     // out records
+            m.alloc_stream(2, strip_nodes), // node records
+            m.alloc_stream(d, strip_nodes), // pointer records
+            m.alloc_stream(2, strip_nodes), // out records
         )
     };
     let bufs = [mk(&mut m), mk(&mut m)];
@@ -368,7 +383,12 @@ pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
             let addrs: Vec<u32> = info
                 .ptr_words
                 .iter()
-                .map(|&pp| [info.unique_addrs[2 * pp as usize], info.unique_addrs[2 * pp as usize + 1]])
+                .map(|&pp| {
+                    [
+                        info.unique_addrs[2 * pp as usize],
+                        info.unique_addrs[2 * pp as usize + 1],
+                    ]
+                })
                 .flat_map(|a| a.into_iter())
                 .collect();
             (
@@ -389,7 +409,7 @@ pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
         bindings.extend(std::iter::repeat_n(vals_binding, nstreams));
         bindings.push(out_b);
         let k = p.kernel(
-            Rc::clone(&kernel),
+            Arc::clone(&kernel),
             sched.clone(),
             bindings,
             (strip_nodes / 8) as u64,
@@ -404,13 +424,31 @@ pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
         prev_kernel = Some(k);
         buf_free[pick] = Some(st);
     }
-    let stats = m.run(&p);
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(OUT_BASE, 2 * ds.nodes)],
+    }
+}
 
-    // Verify against the reference sweep (identical f32 op order).
+/// Run one sweep of the dataset on `cfg`; verified against the reference.
+///
+/// # Panics
+///
+/// Panics if strips don't tile the graph, or the simulated sweep diverges
+/// from the host reference.
+pub fn run(cfg: ConfigName, ds: &IgDataset) -> RunStats {
+    let mut pr = prepare(cfg, ds);
+    let stats = pr.machine.run(&pr.program);
+
+    // Verify against the reference sweep (identical f32 op order). The
+    // graph is regenerated from the dataset seed — generation is
+    // deterministic.
+    let g = generate(ds);
     let expect = reference(&g, ds.fp_ops);
     for (i, &(e0, e1)) in expect.iter().enumerate() {
-        let g0 = as_f32(m.mem().memory().read(OUT_BASE + 2 * i as u32));
-        let g1 = as_f32(m.mem().memory().read(OUT_BASE + 2 * i as u32 + 1));
+        let g0 = as_f32(pr.machine.mem().memory().read(OUT_BASE + 2 * i as u32));
+        let g1 = as_f32(pr.machine.mem().memory().read(OUT_BASE + 2 * i as u32 + 1));
         assert!(
             (g0 - e0).abs() <= 1e-4 * e0.abs().max(1.0) && g1 == e1,
             "node {i}: got ({g0}, {g1}), want ({e0}, {e1})"

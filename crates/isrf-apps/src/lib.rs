@@ -11,10 +11,10 @@
 
 pub mod aes;
 pub mod common;
-pub mod rijndael;
 pub mod fft2d;
 pub mod filter;
-pub mod sort;
+pub mod histogram;
 pub mod igraph;
 pub mod micro;
-pub mod histogram;
+pub mod rijndael;
+pub mod sort;

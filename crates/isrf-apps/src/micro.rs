@@ -59,10 +59,7 @@ pub fn inlane_throughput(subarrays: usize, fifo: usize, separation: u64, cycles:
             s.tick_arrivals(now);
         }
         let must_pop = issued >= popped_iters + separation;
-        let can_pop = !must_pop
-            || states
-                .iter()
-                .all(|s| (0..lanes).all(|l| s.can_pop_data(l)));
+        let can_pop = !must_pop || states.iter().all(|s| (0..lanes).all(|l| s.can_pop_data(l)));
         let can_issue = states
             .iter()
             .all(|s| (0..lanes).all(|l| s.can_push_addr(l)));
@@ -180,9 +177,7 @@ pub fn crosslane_throughput_with_topology(
         }
         // Stage-1 arbitration: sequential streams needing a refill compete
         // with the indexed group, round-robin.
-        let mut requesters: Vec<usize> = (0..3)
-            .filter(|&i| seq_buf[i] <= (8 - m as i64))
-            .collect();
+        let mut requesters: Vec<usize> = (0..3).filter(|&i| seq_buf[i] <= (8 - m as i64)).collect();
         if state[0].pending_addresses() {
             requesters.push(3);
         }
@@ -229,7 +224,10 @@ mod tests {
         let shallow = inlane_throughput(4, 1, 8, 2000);
         let mid = inlane_throughput(4, 4, 8, 2000);
         let deep = inlane_throughput(4, 8, 8, 2000);
-        assert!(shallow < mid && mid <= deep + 0.05, "{shallow} {mid} {deep}");
+        assert!(
+            shallow < mid && mid <= deep + 0.05,
+            "{shallow} {mid} {deep}"
+        );
     }
 
     #[test]

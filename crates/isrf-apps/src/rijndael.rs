@@ -22,7 +22,7 @@
 //! Every run is validated block-for-block against the FIPS-197-checked
 //! reference in [`crate::aes`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
@@ -287,32 +287,38 @@ struct Layout {
 
 const TABLE_BASE: u32 = 0x10_0000;
 
+/// The fixed memory layout (independent of machine state).
+fn layout() -> Layout {
+    Layout {
+        te_bases: [
+            TABLE_BASE,
+            TABLE_BASE + 256,
+            TABLE_BASE + 512,
+            TABLE_BASE + 768,
+            TABLE_BASE + 1024,
+        ],
+        pt_base: 0,
+        ct_base: 0x40_0000,
+    }
+}
+
 fn lay_out_memory(m: &mut Machine, params: &RijndaelParams) -> Layout {
+    let l = layout();
     let te = aes::te_tables();
-    let te_bases = [
-        TABLE_BASE,
-        TABLE_BASE + 256,
-        TABLE_BASE + 512,
-        TABLE_BASE + 768,
-        TABLE_BASE + 1024,
-    ];
-    for (t, &base) in te.iter().zip(&te_bases) {
+    for (t, &base) in te.iter().zip(&l.te_bases) {
         m.mem_mut().memory_mut().write_block(base, t);
     }
     let sbox_words: Vec<Word> = aes::SBOX.iter().map(|&x| x as u32).collect();
-    m.mem_mut().memory_mut().write_block(te_bases[4], &sbox_words);
+    m.mem_mut()
+        .memory_mut()
+        .write_block(l.te_bases[4], &sbox_words);
 
     // Plaintext: random blocks, contiguous per strip.
     let mut rng = SmallRng::seed_from_u64(params.seed);
-    let pt_base = 0;
     let total_words = params.total_blocks() * 4;
     let pt: Vec<Word> = (0..total_words).map(|_| rng.gen()).collect();
-    m.mem_mut().memory_mut().write_block(pt_base, &pt);
-    Layout {
-        te_bases,
-        pt_base,
-        ct_base: 0x40_0000,
-    }
+    m.mem_mut().memory_mut().write_block(l.pt_base, &pt);
+    l
 }
 
 /// Expected ciphertext for the whole run, using the reference cipher.
@@ -362,12 +368,12 @@ fn verify(m: &Machine, params: &RijndaelParams, layout: &Layout) {
     }
 }
 
-/// Run the ISRF version (valid on `Isrf1`/`Isrf4`).
-fn run_isrf(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
+/// Prepare the ISRF version (valid on `Isrf1`/`Isrf4`).
+fn prepare_isrf(cfg: ConfigName, params: &RijndaelParams) -> crate::common::Prepared {
     let mut m = machine(cfg);
     let layout = lay_out_memory(&mut m, params);
     let rk = aes::key_expansion(&aes::FIPS_KEY);
-    let kernel = Rc::new(build_isrf_kernel(&rk, params.chains_per_lane));
+    let kernel = Arc::new(build_isrf_kernel(&rk, params.chains_per_lane));
     let sched = schedule_for(&m, &kernel);
 
     let lanes = m.config().lanes as u32;
@@ -421,7 +427,7 @@ fn run_isrf(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
         }
         let mut bindings = vec![pt_bufs[pick], ct_bufs[pick]];
         bindings.extend(tables.iter().copied());
-        let k = p.kernel(Rc::clone(&kernel), sched.clone(), bindings, iters, &kdeps);
+        let k = p.kernel(Arc::clone(&kernel), sched.clone(), bindings, iters, &kdeps);
         p.store(
             ct_bufs[pick],
             AddrPattern::contiguous(layout.ct_base + s * strip_blocks * 4, strip_blocks * 4),
@@ -431,20 +437,22 @@ fn run_isrf(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
         prev_kernel = Some(k);
         buf_user[pick] = Some(k);
     }
-    let stats = m.run(&p);
-    verify(&m, params, &layout);
-    stats
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(layout.ct_base, params.total_blocks() * 4)],
+    }
 }
 
-/// Run the Base/Cache version: 11 kernels per wave with data-dependent
+/// Prepare the Base/Cache version: 11 kernels per wave with data-dependent
 /// gathers between them; `cacheable` routes the gathers through the cache.
-fn run_base(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
+fn prepare_base(cfg: ConfigName, params: &RijndaelParams) -> crate::common::Prepared {
     let mut m = machine(cfg);
     let cacheable = m.config().cache.is_some();
     let layout = lay_out_memory(&mut m, params);
     let rk = aes::key_expansion(&aes::FIPS_KEY);
-    let kernels: Vec<Rc<Kernel>> = (0..=10)
-        .map(|r| Rc::new(build_base_kernel(&rk, r, &layout.te_bases)))
+    let kernels: Vec<Arc<Kernel>> = (0..=10)
+        .map(|r| Arc::new(build_base_kernel(&rk, r, &layout.te_bases)))
         .collect();
     let scheds: Vec<_> = kernels.iter().map(|k| schedule_for(&m, k)).collect();
 
@@ -467,8 +475,14 @@ fn run_base(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
         .map(|_| StripBufs {
             pt: m.alloc_stream(4, strip_blocks),
             iv: m.alloc_stream(4, wave_blocks),
-            idx: [m.alloc_stream(16, wave_blocks), m.alloc_stream(16, wave_blocks)],
-            lut: [m.alloc_stream(16, wave_blocks), m.alloc_stream(16, wave_blocks)],
+            idx: [
+                m.alloc_stream(16, wave_blocks),
+                m.alloc_stream(16, wave_blocks),
+            ],
+            lut: [
+                m.alloc_stream(16, wave_blocks),
+                m.alloc_stream(16, wave_blocks),
+            ],
             ct: m.alloc_stream(4, strip_blocks),
         })
         .collect();
@@ -521,7 +535,7 @@ fn run_base(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
                 deps.push(k);
             }
             let mut last = p.kernel(
-                Rc::clone(&kernels[0]),
+                Arc::clone(&kernels[0]),
                 scheds[0].clone(),
                 vec![pt_wave, chain, sb.idx[0]],
                 iters,
@@ -532,7 +546,7 @@ fn run_base(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
                 let op = (r % 2) as usize;
                 let g = p.gather_dyn(sb.idx[ip], 0, sb.lut[ip], cacheable, &[last]);
                 last = p.kernel(
-                    Rc::clone(&kernels[r as usize]),
+                    Arc::clone(&kernels[r as usize]),
                     scheds[r as usize].clone(),
                     vec![sb.lut[ip], sb.idx[op]],
                     iters,
@@ -542,7 +556,7 @@ fn run_base(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
             // Final gather (S-box) + k10 -> ct wave + next chain state.
             let g = p.gather_dyn(sb.idx[1], 0, sb.lut[1], cacheable, &[last]);
             let k10 = p.kernel(
-                Rc::clone(&kernels[10]),
+                Arc::clone(&kernels[10]),
                 scheds[10].clone(),
                 vec![sb.lut[1], ct_wave],
                 iters,
@@ -556,24 +570,42 @@ fn run_base(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
         let dep = prev_k10[s].expect("at least one wave ran");
         p.store(
             b.ct,
-            AddrPattern::contiguous(layout.ct_base + s as u32 * strip_blocks * 4, strip_blocks * 4),
+            AddrPattern::contiguous(
+                layout.ct_base + s as u32 * strip_blocks * 4,
+                strip_blocks * 4,
+            ),
             false,
             &[dep],
         );
     }
 
-    let stats = m.run(&p);
-    verify(&m, params, &layout);
-    stats
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(layout.ct_base, params.total_blocks() * 4)],
+    }
+}
+
+/// Set up the machine (tables, plaintext, any un-measured setup) and build
+/// the measured program without running it.
+pub fn prepare(cfg: ConfigName, params: &RijndaelParams) -> crate::common::Prepared {
+    match cfg {
+        ConfigName::Isrf1 | ConfigName::Isrf4 => prepare_isrf(cfg, params),
+        ConfigName::Base | ConfigName::Cache => prepare_base(cfg, params),
+    }
 }
 
 /// Run the benchmark on `cfg`; the result is functionally verified against
 /// the FIPS-checked reference before returning.
+///
+/// # Panics
+///
+/// Panics if the simulated ciphertext diverges from the reference cipher.
 pub fn run(cfg: ConfigName, params: &RijndaelParams) -> RunStats {
-    match cfg {
-        ConfigName::Isrf1 | ConfigName::Isrf4 => run_isrf(cfg, params),
-        ConfigName::Base | ConfigName::Cache => run_base(cfg, params),
-    }
+    let mut pr = prepare(cfg, params);
+    let stats = pr.machine.run(&pr.program);
+    verify(&pr.machine, params, &layout());
+    stats
 }
 
 #[cfg(test)]
@@ -599,22 +631,22 @@ mod tests {
 
     #[test]
     fn isrf_functional() {
-        run_isrf(ConfigName::Isrf4, &small());
+        run(ConfigName::Isrf4, &small());
     }
 
     #[test]
     fn base_functional() {
-        run_base(ConfigName::Base, &small());
+        run(ConfigName::Base, &small());
     }
 
     #[test]
     fn cache_functional() {
-        run_base(ConfigName::Cache, &small());
+        run(ConfigName::Cache, &small());
     }
 
     #[test]
     fn isrf1_functional() {
-        run_isrf(ConfigName::Isrf1, &small());
+        run(ConfigName::Isrf1, &small());
     }
 
     #[test]

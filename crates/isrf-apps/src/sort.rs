@@ -23,7 +23,7 @@
 //! as noted in EXPERIMENTS.md. Output is validated for sortedness and
 //! multiset equality with the input.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
@@ -237,9 +237,13 @@ fn lay_out_keys(m: &mut isrf_sim::Machine, params: &SortParams) -> Vec<Word> {
     keys
 }
 
-fn verify(m: &isrf_sim::Machine, keys: &[Word], params: &SortParams) {
+fn verify(m: &isrf_sim::Machine, params: &SortParams) {
     let n = params.keys_per_lane * 8;
-    let out: Vec<Word> = (0..n).map(|i| m.mem().memory().read(OUT_BASE + i)).collect();
+    // The input keys survive untouched at IN_BASE.
+    let keys: Vec<Word> = (0..n).map(|i| m.mem().memory().read(IN_BASE + i)).collect();
+    let out: Vec<Word> = (0..n)
+        .map(|i| m.mem().memory().read(OUT_BASE + i))
+        .collect();
     // Lane l's run is elements l, l+8, ...: each must be sorted.
     for l in 0..8u32 {
         let lane: Vec<Word> = (0..params.keys_per_lane)
@@ -257,10 +261,10 @@ fn verify(m: &isrf_sim::Machine, keys: &[Word], params: &SortParams) {
     assert_eq!(a, b, "output is not a permutation of the input");
 }
 
-/// Run the ISRF version: log2(n) two-pointer merge passes per lane.
-fn run_isrf(cfg: ConfigName, params: &SortParams) -> RunStats {
+/// Prepare the ISRF version: log2(n) two-pointer merge passes per lane.
+fn prepare_isrf(cfg: ConfigName, params: &SortParams) -> crate::common::Prepared {
     let mut m = machine(cfg);
-    let keys = lay_out_keys(&mut m, params);
+    lay_out_keys(&mut m, params);
     let n = params.keys_per_lane * 8;
     // One extra word per lane pads the regions for exhausted-cursor loads.
     let x = m.alloc_stream(1, n + 8).slice(0, n);
@@ -273,7 +277,7 @@ fn run_isrf(cfg: ConfigName, params: &SortParams) -> RunStats {
     let mut last = load;
     let mut run = 1;
     while run < params.keys_per_lane {
-        let k = Rc::new(build_merge_kernel(run, params.keys_per_lane));
+        let k = Arc::new(build_merge_kernel(run, params.keys_per_lane));
         let s = schedule_for(&m, &k);
         // In-lane indexed views of the whole local array, read and write.
         // The read view is padded by one word per lane: an exhausted merge
@@ -281,21 +285,28 @@ fn run_isrf(cfg: ConfigName, params: &SortParams) -> RunStats {
         // in range.
         let view = StreamBinding::whole(cur.range, 1, n + 8);
         let wview = StreamBinding::whole(other.range, 1, n);
-        last = p.kernel(Rc::clone(&k), s, vec![view, wview], params.keys_per_lane as u64, &[last]);
+        last = p.kernel(
+            Arc::clone(&k),
+            s,
+            vec![view, wview],
+            params.keys_per_lane as u64,
+            &[last],
+        );
         std::mem::swap(&mut cur, &mut other);
         run *= 2;
     }
-    let st = p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
-    let _ = st;
-    let stats = m.run(&p);
-    verify(&m, &keys, params);
-    stats
+    p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(OUT_BASE, n)],
+    }
 }
 
-/// Run the Base/Cache version: conditional-stream merge passes.
-fn run_base(cfg: ConfigName, params: &SortParams) -> RunStats {
+/// Prepare the Base/Cache version: conditional-stream merge passes.
+fn prepare_base(cfg: ConfigName, params: &SortParams) -> crate::common::Prepared {
     let mut m = machine(cfg);
-    let keys = lay_out_keys(&mut m, params);
+    lay_out_keys(&mut m, params);
     let n = params.keys_per_lane * 8;
     let x = m.alloc_stream(1, n);
     let y = m.alloc_stream(1, n);
@@ -307,7 +318,7 @@ fn run_base(cfg: ConfigName, params: &SortParams) -> RunStats {
     let mut last = load;
     let mut run = 1;
     while run < params.keys_per_lane {
-        let k = Rc::new(build_cond_merge_kernel(run));
+        let k = Arc::new(build_cond_merge_kernel(run));
         let s = schedule_for(&m, &k);
         // The A substream covers each lane's left runs, B the right runs:
         // stream records alternate run-sized blocks, which (in lane-record
@@ -317,7 +328,7 @@ fn run_base(cfg: ConfigName, params: &SortParams) -> RunStats {
         let a_in = StreamBinding::windowed(cur.range, 1, 0, sd, 2 * sd, runs);
         let b_in = StreamBinding::windowed(cur.range, 1, sd, sd, 2 * sd, runs);
         last = p.kernel(
-            Rc::clone(&k),
+            Arc::clone(&k),
             s,
             vec![a_in, b_in, other],
             params.keys_per_lane as u64,
@@ -326,18 +337,19 @@ fn run_base(cfg: ConfigName, params: &SortParams) -> RunStats {
         std::mem::swap(&mut cur, &mut other);
         run *= 2;
     }
-    let st = p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
-    let _ = st;
-    let stats = m.run(&p);
-    verify(&m, &keys, params);
-    stats
+    p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
+    crate::common::Prepared {
+        machine: m,
+        program: p,
+        outputs: vec![(OUT_BASE, n)],
+    }
 }
 
 /// Ablation: the baseline recast as a bitonic sorting network over strided
 /// stream windows (data-independent accesses; more comparison stages).
 pub fn run_base_bitonic(cfg: ConfigName, params: &SortParams) -> RunStats {
     let mut m = machine(cfg);
-    let keys = lay_out_keys(&mut m, params);
+    lay_out_keys(&mut m, params);
     let n = params.keys_per_lane * 8;
     let x = m.alloc_stream(1, n);
     let y = m.alloc_stream(1, n);
@@ -351,7 +363,7 @@ pub fn run_base_bitonic(cfg: ConfigName, params: &SortParams) -> RunStats {
     for k in 1..=levels {
         for j in (0..k).rev() {
             let d = 1u32 << j; // lane-local distance; stream distance 8d
-            let kern = Rc::new(build_bitonic_kernel(k, d));
+            let kern = Arc::new(build_bitonic_kernel(k, d));
             let s = schedule_for(&m, &kern);
             let sd = 8 * d;
             let runs = n / (2 * sd);
@@ -360,7 +372,7 @@ pub fn run_base_bitonic(cfg: ConfigName, params: &SortParams) -> RunStats {
             let a_out = StreamBinding::windowed(other.range, 1, 0, sd, 2 * sd, runs);
             let b_out = StreamBinding::windowed(other.range, 1, sd, sd, 2 * sd, runs);
             last = p.kernel(
-                Rc::clone(&kern),
+                Arc::clone(&kern),
                 s,
                 vec![a_in, b_in, a_out, b_out],
                 (params.keys_per_lane / 2) as u64,
@@ -372,20 +384,37 @@ pub fn run_base_bitonic(cfg: ConfigName, params: &SortParams) -> RunStats {
     let st = p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
     let _ = st;
     let stats = m.run(&p);
-    verify(&m, &keys, params);
+    verify(&m, params);
     stats
 }
 
-/// Run the benchmark; output sortedness and permutation are verified.
-pub fn run(cfg: ConfigName, params: &SortParams) -> RunStats {
+/// Set up the machine (key layout) and build the measured program without
+/// running it.
+///
+/// # Panics
+///
+/// Panics if `params.keys_per_lane` is not a power of two ≥ 2.
+pub fn prepare(cfg: ConfigName, params: &SortParams) -> crate::common::Prepared {
     assert!(
         params.keys_per_lane.is_power_of_two() && params.keys_per_lane >= 2,
         "keys_per_lane must be a power of two"
     );
     match cfg {
-        ConfigName::Isrf1 | ConfigName::Isrf4 => run_isrf(cfg, params),
-        ConfigName::Base | ConfigName::Cache => run_base(cfg, params),
+        ConfigName::Isrf1 | ConfigName::Isrf4 => prepare_isrf(cfg, params),
+        ConfigName::Base | ConfigName::Cache => prepare_base(cfg, params),
     }
+}
+
+/// Run the benchmark; output sortedness and permutation are verified.
+///
+/// # Panics
+///
+/// Panics on invalid sizing or if the output fails verification.
+pub fn run(cfg: ConfigName, params: &SortParams) -> RunStats {
+    let mut pr = prepare(cfg, params);
+    let stats = pr.machine.run(&pr.program);
+    verify(&pr.machine, params);
+    stats
 }
 
 /// The Sort1 kernel used by the parameter studies (Figures 13–15): a
@@ -423,12 +452,12 @@ mod tests {
 
     #[test]
     fn isrf_functional() {
-        run_isrf(ConfigName::Isrf4, &small());
+        run(ConfigName::Isrf4, &small());
     }
 
     #[test]
     fn base_functional() {
-        run_base(ConfigName::Base, &small());
+        run(ConfigName::Base, &small());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Differential execution: cycle-accurate machine vs reference executor.
+
+use std::fmt;
+
+use isrf_core::stats::RunStats;
+use isrf_sim::machine::Machine;
+use isrf_sim::program::StreamProgram;
+
+use crate::refexec::{RefCounts, RefMachine};
+
+/// Where a differential run diverged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// An output-region memory word differs: `(addr, machine, reference)`.
+    Memory(u32, u32, u32),
+    /// An SRF word differs: `(lane, offset, machine, reference)`.
+    Srf(usize, u32, u32, u32),
+    /// In-lane indexed word counts differ: `(machine, reference)`.
+    InlaneCount(u64, u64),
+    /// Cross-lane indexed word counts differ: `(machine, reference)`.
+    CrosslaneCount(u64, u64),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DiffError::Memory(addr, m, r) => {
+                write!(f, "memory[{addr:#x}]: machine {m:#x} != reference {r:#x}")
+            }
+            DiffError::Srf(lane, off, m, r) => write!(
+                f,
+                "srf[lane {lane}][{off:#x}]: machine {m:#x} != reference {r:#x}"
+            ),
+            DiffError::InlaneCount(m, r) => {
+                write!(f, "in-lane indexed words: machine {m} != reference {r}")
+            }
+            DiffError::CrosslaneCount(m, r) => {
+                write!(f, "cross-lane indexed words: machine {m} != reference {r}")
+            }
+        }
+    }
+}
+
+/// Result of a successful differential run.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// The cycle-accurate machine's stats for the run.
+    pub stats: RunStats,
+    /// The reference executor's indexed word counts (already checked
+    /// against `stats.srf`).
+    pub counts: RefCounts,
+}
+
+/// Run `program` on both the machine and a reference snapshot of it, then
+/// compare final state:
+///
+/// * every word of every `(base, words)` output region in memory,
+/// * the entire remaining memory image (stores land functionally at issue
+///   on every configuration, so the images must be identical),
+/// * the entire SRF,
+/// * the machine's indexed SRF word counts against the reference's.
+///
+/// # Errors
+///
+/// Returns every divergence found (memory first, then SRF, then counts),
+/// or the machine stats and reference counts on agreement.
+pub fn run_differential(
+    machine: &mut Machine,
+    program: &StreamProgram,
+    outputs: &[(u32, u32)],
+) -> Result<DiffOutcome, Vec<DiffError>> {
+    let mut reference = RefMachine::from_machine(machine);
+    reference.run(program);
+    let stats = machine.run(program);
+
+    let mut errors = Vec::new();
+    const MAX_ERRORS: usize = 32;
+
+    // Output regions first, so the report leads with the words callers
+    // actually consume, then a linear scan of the full memory image (a
+    // mismatch inside an output region may appear twice; both scans cap).
+    let mem_words = machine.mem().memory().len().max(reference.mem().len()) as u32;
+    let mut regions: Vec<(u32, u32)> = outputs.to_vec();
+    regions.push((0, mem_words));
+    'mem: for &(base, words) in &regions {
+        for k in 0..words {
+            let addr = base + k;
+            let m = machine.mem().memory().read(addr);
+            let r = reference.mem().read(addr);
+            if m != r {
+                errors.push(DiffError::Memory(addr, m, r));
+                if errors.len() >= MAX_ERRORS {
+                    break 'mem;
+                }
+            }
+        }
+    }
+
+    if errors.len() < MAX_ERRORS {
+        'srf: for lane in 0..machine.config().lanes {
+            for off in 0..machine.srf().bank_words() {
+                let m = machine.srf().read(lane, off);
+                let r = reference.srf().read(lane, off);
+                if m != r {
+                    errors.push(DiffError::Srf(lane, off, m, r));
+                    if errors.len() >= MAX_ERRORS {
+                        break 'srf;
+                    }
+                }
+            }
+        }
+    }
+
+    let counts = reference.counts();
+    if stats.srf.inlane_words != counts.inlane_words {
+        errors.push(DiffError::InlaneCount(
+            stats.srf.inlane_words,
+            counts.inlane_words,
+        ));
+    }
+    if stats.srf.crosslane_words != counts.crosslane_words {
+        errors.push(DiffError::CrosslaneCount(
+            stats.srf.crosslane_words,
+            counts.crosslane_words,
+        ));
+    }
+
+    if errors.is_empty() {
+        Ok(DiffOutcome { stats, counts })
+    } else {
+        Err(errors)
+    }
+}

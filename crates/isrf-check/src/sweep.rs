@@ -1,0 +1,137 @@
+//! Deterministic parallel sweep driver.
+//!
+//! Simulation points (app × config × params) are independent, so a sweep
+//! fans them across OS threads with [`std::thread::scope`]. Work is pulled
+//! from a shared atomic counter (no static partitioning, so one slow point
+//! doesn't idle a whole thread's share) and every result is returned at
+//! its item's input index — a parallel sweep yields exactly the same
+//! `Vec` as [`run_serial`] over the same items, regardless of thread
+//! count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f` over every item on all available cores; results in item order.
+///
+/// Each worker claims items via an atomic cursor and stamps results with
+/// the item index, so the output order is deterministic even though the
+/// execution order is not. Uses at most one thread per item.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the whole sweep fails rather than
+/// returning partial results).
+pub fn run_parallel<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_parallel_threads(items, threads, f)
+}
+
+/// [`run_parallel`] with an explicit worker count (clamped to the item
+/// count). Lets tests force genuine multi-thread interleaving even on a
+/// single-core host, where `available_parallelism` would give one worker.
+fn run_parallel_threads<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item produces exactly one result"))
+        .collect()
+}
+
+/// Serial twin of [`run_parallel`]: same signature, same result order.
+pub fn run_serial<T, R>(items: &[T], f: impl Fn(&T) -> R) -> Vec<R> {
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_matches_serial_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |&x: &u64| x * x + 1;
+        assert_eq!(run_parallel(&items, f), run_serial(&items, f));
+    }
+
+    #[test]
+    fn forced_thread_counts_match_serial() {
+        // Explicit worker counts exercise real cross-thread work stealing
+        // even when the host reports a single core.
+        let items: Vec<u64> = (0..257).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9) ^ (x >> 3);
+        let expect = run_serial(&items, f);
+        for threads in [1, 2, 4, 16, 300] {
+            assert_eq!(
+                run_parallel_threads(&items, threads, f),
+                expect,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_parallel(&none, |&x| x).is_empty());
+        assert_eq!(run_parallel(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let got = run_parallel(&items, |&i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        run_parallel(&[1u32, 2, 3], |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -106,8 +106,9 @@ impl LatencyModel {
         match opcode {
             Const(_) | LaneId | LaneCount | IterId => 0,
             Mov | Not | Neg | FNeg | IToF | FToI | Select => l.select,
-            Add | Sub | And | Or | Xor | Shl | Shr | Sra | Lt | Le | Eq | Ne | ULt | Min
-            | Max => l.int_alu,
+            Add | Sub | And | Or | Xor | Shl | Shr | Sra | Lt | Le | Eq | Ne | ULt | Min | Max => {
+                l.int_alu
+            }
             Mul => l.int_mul,
             Div | Rem => l.divide,
             FAdd | FSub | FLt | FLe | FEq | FMin | FMax => l.fp_add,
@@ -235,8 +236,14 @@ mod tests {
         let _d2 = b.idx_read(xt, a2);
         let k = b.build().unwrap();
         let g = build_graph(&k, &model());
-        assert!(g.edges.iter().any(|e| e.from == 1 && e.to == 2 && e.latency == 6));
-        assert!(g.edges.iter().any(|e| e.from == 3 && e.to == 4 && e.latency == 20));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 1 && e.to == 2 && e.latency == 6));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.from == 3 && e.to == 4 && e.latency == 20));
     }
 
     #[test]

@@ -267,8 +267,19 @@ impl Opcode {
         use Opcode::*;
         match self {
             Const(_) | LaneId | LaneCount | IterId | SeqRead(_) => 0,
-            Mov | Not | Neg | FNeg | IToF | FToI | SeqWrite(_) | CondRead(_)
-            | CondLaneRead(_) | IdxAddr(_) | IdxRead(_) | ScratchRead | Comm { .. }
+            Mov
+            | Not
+            | Neg
+            | FNeg
+            | IToF
+            | FToI
+            | SeqWrite(_)
+            | CondRead(_)
+            | CondLaneRead(_)
+            | IdxAddr(_)
+            | IdxRead(_)
+            | ScratchRead
+            | Comm { .. }
             | CommXor { .. } => 1,
             Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sra | Lt | Le | Eq | Ne
             | ULt | Min | Max | FAdd | FSub | FMul | FDiv | FLt | FLe | FEq | FMin | FMax

@@ -374,7 +374,9 @@ fn attempt(
         // Find a conflict-free slot in [estart, estart + ii).
         let mut chosen = None;
         for t in estart..estart + ii {
-            if mrt.conflicts(op, class(op), lat(op), t, capacity).is_empty()
+            if mrt
+                .conflicts(op, class(op), lat(op), t, capacity)
+                .is_empty()
                 && succs_ok(graph, &slot, op, t, ii)
             {
                 chosen = Some((t, false));
@@ -506,7 +508,10 @@ mod tests {
                 Resource::Divider => p.divider_count as u32,
                 _ => 1,
             };
-            assert!(count <= cap, "resource {r:?} oversubscribed at modulo slot {slot}");
+            assert!(
+                count <= cap,
+                "resource {r:?} oversubscribed at modulo slot {slot}"
+            );
         }
     }
 
@@ -561,10 +566,7 @@ mod tests {
         verify(&k, &p, &s);
         // Same-stream accesses must stay within one II window.
         let slots: Vec<u32> = (0..4).map(|i| s.slots[i]).collect();
-        let (min, max) = (
-            *slots.iter().min().unwrap(),
-            *slots.iter().max().unwrap(),
-        );
+        let (min, max) = (*slots.iter().min().unwrap(), *slots.iter().max().unwrap());
         assert!(max - min < s.ii, "stream accesses wrap the II window");
         assert!(slots.windows(2).all(|w| w[0] < w[1]), "program order kept");
     }
@@ -608,7 +610,10 @@ mod tests {
             iis.push(s.ii);
             spans.push(s.span);
         }
-        assert_eq!(iis[0], iis[2], "II flat without recurrence (Fig 14 flat lines)");
+        assert_eq!(
+            iis[0], iis[2],
+            "II flat without recurrence (Fig 14 flat lines)"
+        );
         assert!(spans[2] > spans[0], "span grows with separation");
     }
 
@@ -640,7 +645,10 @@ mod tests {
         }
         assert!(iis[1] > iis[0] && iis[2] > iis[1], "II grows: {iis:?}");
         // The recurrence is and(2) + addr(1) + sep + read(1)... ~ sep + 4.
-        assert!(iis[2] as i64 - iis[0] as i64 >= 7, "slope ~1 per cycle: {iis:?}");
+        assert!(
+            iis[2] as i64 - iis[0] as i64 >= 7,
+            "slope ~1 per cycle: {iis:?}"
+        );
     }
 
     #[test]

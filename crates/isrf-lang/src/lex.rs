@@ -133,22 +133,21 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let tok = if is_float {
-                    let t = text.trim_end_matches('f');
-                    Tok::Float(t.parse::<f32>().map_err(|_| {
-                        LangError::new(line, format!("bad float literal `{text}`"))
-                    })?)
-                } else if let Some(hex) = text.strip_prefix("0x") {
-                    Tok::Int(i64::from_str_radix(hex, 16).map_err(|_| {
-                        LangError::new(line, format!("bad hex literal `{text}`"))
-                    })?)
-                } else {
-                    Tok::Int(
-                        text.parse::<i64>().map_err(|_| {
+                let tok =
+                    if is_float {
+                        let t = text.trim_end_matches('f');
+                        Tok::Float(t.parse::<f32>().map_err(|_| {
+                            LangError::new(line, format!("bad float literal `{text}`"))
+                        })?)
+                    } else if let Some(hex) = text.strip_prefix("0x") {
+                        Tok::Int(i64::from_str_radix(hex, 16).map_err(|_| {
+                            LangError::new(line, format!("bad hex literal `{text}`"))
+                        })?)
+                    } else {
+                        Tok::Int(text.parse::<i64>().map_err(|_| {
                             LangError::new(line, format!("bad int literal `{text}`"))
-                        })?,
-                    )
-                };
+                        })?)
+                    };
                 out.push(Token { tok, line });
             }
             _ => {

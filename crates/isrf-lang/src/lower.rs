@@ -201,7 +201,10 @@ pub(crate) fn lower(def: &KernelDef) -> Result<Kernel, LangError> {
         }
     }
     let (_, lt, _) = ctx.stream(&def.loop_stream)?;
-    if matches!(lt, StreamTy::SeqOut | StreamTy::CondOut | StreamTy::IdxInWrite) {
+    if matches!(
+        lt,
+        StreamTy::SeqOut | StreamTy::CondOut | StreamTy::IdxInWrite
+    ) {
         return Err(err("`eos` stream must be an input stream"));
     }
 
@@ -415,7 +418,13 @@ kernel lookup(
              while (!eos(in)) { in >> x; if (x > 0) co << x; w[x & 63] << x; } }",
         )
         .unwrap();
-        assert!(k.ops.iter().any(|o| matches!(o.opcode, Opcode::CondWrite(_))));
-        assert!(k.ops.iter().any(|o| matches!(o.opcode, Opcode::IdxWrite(_))));
+        assert!(k
+            .ops
+            .iter()
+            .any(|o| matches!(o.opcode, Opcode::CondWrite(_))));
+        assert!(k
+            .ops
+            .iter()
+            .any(|o| matches!(o.opcode, Opcode::IdxWrite(_))));
     }
 }

@@ -414,9 +414,7 @@ fn primary(p: &mut P) -> Result<Expr, LangError> {
                             Some(Tok::Comma) => continue,
                             Some(Tok::RParen) => break,
                             other => {
-                                return Err(
-                                    p.err(format!("expected `,` or `)`, found {other:?}"))
-                                )
+                                return Err(p.err(format!("expected `,` or `)`, found {other:?}")))
                             }
                         }
                     }

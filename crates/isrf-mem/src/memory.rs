@@ -37,7 +37,10 @@ impl Memory {
 
     fn ensure(&mut self, addr: u32) {
         let addr = addr as usize;
-        assert!(addr < Self::MAX_WORDS, "word address {addr:#x} out of range");
+        assert!(
+            addr < Self::MAX_WORDS,
+            "word address {addr:#x} out of range"
+        );
         if addr >= self.words.len() {
             self.words.resize(addr + 1, 0);
         }

@@ -166,7 +166,11 @@ impl MemorySystem {
                 .map(|c| c.words_per_cycle(cfg.clock_ghz))
                 .unwrap_or(0.0),
             cache_credit: 0.0,
-            cache_hit_latency: cfg.cache.as_ref().map(|c| c.hit_latency as u64).unwrap_or(0),
+            cache_hit_latency: cfg
+                .cache
+                .as_ref()
+                .map(|c| c.hit_latency as u64)
+                .unwrap_or(0),
             cache,
             inflight: VecDeque::new(),
             completion: HashMap::new(),
@@ -407,7 +411,10 @@ mod tests {
         let start = sys.now();
         while !sys.is_complete(id) {
             sys.tick();
-            assert!(sys.now() - start < max, "transfer did not complete in {max} cycles");
+            assert!(
+                sys.now() - start < max,
+                "transfer did not complete in {max} cycles"
+            );
         }
         sys.now() - start
     }
@@ -527,7 +534,10 @@ mod tests {
         let mut sys = cache_system();
         let (a, _) = sys.start_read(AddrPattern::contiguous(0, 64), false);
         run_until_complete(&mut sys, a, 10_000);
-        assert_eq!(sys.cache().unwrap().hits() + sys.cache().unwrap().misses(), 0);
+        assert_eq!(
+            sys.cache().unwrap().hits() + sys.cache().unwrap().misses(),
+            0
+        );
         assert_eq!(sys.traffic().bytes_read, 256);
     }
 
@@ -538,7 +548,11 @@ mod tests {
         // streaming a second 128 KB region: evictions of dirty lines must
         // produce write traffic.
         let words = 32 * 1024u32;
-        let id = sys.start_write(AddrPattern::contiguous(0, words), &vec![1; words as usize], true);
+        let id = sys.start_write(
+            AddrPattern::contiguous(0, words),
+            &vec![1; words as usize],
+            true,
+        );
         run_until_complete(&mut sys, id, 1_000_000);
         let (id2, _) = sys.start_read(AddrPattern::contiguous(words, words), true);
         run_until_complete(&mut sys, id2, 1_000_000);

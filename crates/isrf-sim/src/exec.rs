@@ -21,7 +21,7 @@
 //! with software-pipeline fill/drain.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::MachineConfig;
 use isrf_core::stats::SrfTraffic;
@@ -63,7 +63,7 @@ pub enum Phase {
 /// One kernel invocation in progress.
 #[derive(Debug)]
 pub struct KernelRun {
-    kernel: Rc<Kernel>,
+    kernel: Arc<Kernel>,
     sched: Schedule,
     iters: u64,
     lanes: usize,
@@ -107,7 +107,7 @@ impl KernelRun {
     /// (write addresses are word-granular).
     pub fn new(
         cfg: &MachineConfig,
-        kernel: Rc<Kernel>,
+        kernel: Arc<Kernel>,
         sched: Schedule,
         bindings: Vec<StreamBinding>,
         iters: u64,
@@ -129,9 +129,7 @@ impl KernelRun {
                 StreamKind::SeqIn => SlotState::SeqIn(SeqInState::new(*b, lanes, cap)),
                 StreamKind::SeqOut => SlotState::SeqOut(SeqOutState::new(*b, lanes, cap)),
                 StreamKind::CondIn => SlotState::CondIn(CondInState::new(*b, lanes, cap)),
-                StreamKind::CondLaneIn => {
-                    SlotState::CondLaneIn(SeqInState::new(*b, lanes, cap))
-                }
+                StreamKind::CondLaneIn => SlotState::CondLaneIn(SeqInState::new(*b, lanes, cap)),
                 StreamKind::CondOut => SlotState::CondOut(CondOutState::new(*b, lanes, cap)),
                 StreamKind::IdxInRead | StreamKind::IdxInWrite | StreamKind::IdxCrossRead => {
                     let kind = match decl.kind {
@@ -168,7 +166,11 @@ impl KernelRun {
             seq_latency: cfg.srf.seq_latency as u64,
             slots,
             idx_states,
-            idx_params: cfg.srf.indexed.as_ref().map(|_| IdxParams::from_machine(cfg)),
+            idx_params: cfg
+                .srf
+                .indexed
+                .as_ref()
+                .map(|_| IdxParams::from_machine(cfg)),
             t: 0,
             ops_by_slot,
             ctx_base: 0,
@@ -663,8 +665,16 @@ fn eval_alu(opcode: Opcode, resolve: impl Fn(usize, usize) -> Word, lane: usize)
         Add => word::from_i32(ia().wrapping_add(ib())),
         Sub => word::from_i32(ia().wrapping_sub(ib())),
         Mul => word::from_i32(ia().wrapping_mul(ib())),
-        Div => word::from_i32(if ib() == 0 { 0 } else { ia().wrapping_div(ib()) }),
-        Rem => word::from_i32(if ib() == 0 { 0 } else { ia().wrapping_rem(ib()) }),
+        Div => word::from_i32(if ib() == 0 {
+            0
+        } else {
+            ia().wrapping_div(ib())
+        }),
+        Rem => word::from_i32(if ib() == 0 {
+            0
+        } else {
+            ia().wrapping_rem(ib())
+        }),
         And => a() & b(),
         Or => a() | b(),
         Xor => a() ^ b(),

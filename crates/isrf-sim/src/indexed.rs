@@ -125,7 +125,9 @@ impl IdxState {
         debug_assert!(self.can_push_addr(lane));
         debug_assert_eq!(self.kind, IdxKind::InLaneWrite);
         debug_assert_eq!(data.len(), self.binding.record_words as usize);
-        self.lanes[lane].addr_fifo.push_back(IdxReq { record, data });
+        self.lanes[lane]
+            .addr_fifo
+            .push_back(IdxReq { record, data });
     }
 
     /// Is a data word ready for lane `l`?
@@ -139,7 +141,10 @@ impl IdxState {
     ///
     /// Panics if no data is ready.
     pub fn pop_data(&mut self, lane: usize) -> Word {
-        self.lanes[lane].data.pop_front().expect("no indexed data ready")
+        self.lanes[lane]
+            .data
+            .pop_front()
+            .expect("no indexed data ready")
     }
 
     /// Move arrived in-flight words into the data buffers.
@@ -244,7 +249,12 @@ impl IdxParams {
 /// Extra cycles a cross-lane access pays on a sparse interconnect:
 /// crossbars deliver in one traversal; rings pay one cycle per hop beyond
 /// the first (shortest direction).
-pub fn topology_extra_latency(topology: CrossLaneTopology, from: usize, to: usize, lanes: usize) -> u64 {
+pub fn topology_extra_latency(
+    topology: CrossLaneTopology,
+    from: usize,
+    to: usize,
+    lanes: usize,
+) -> u64 {
     match topology {
         CrossLaneTopology::Crossbar => 0,
         CrossLaneTopology::Ring => {
@@ -328,8 +338,8 @@ pub fn service_indexed(
                     .inflight
                     .push_back((now + p.inlane_latency, w));
             } else {
-                let w = st.lanes[lane].addr_fifo.front().expect("head exists").data
-                    [head_word as usize];
+                let w =
+                    st.lanes[lane].addr_fifo.front().expect("head exists").data[head_word as usize];
                 srf.write(lane, offset, w);
             }
             // Advance the head expansion counter.
@@ -500,7 +510,10 @@ mod tests {
         service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
         assert_eq!(traffic.inlane_words, 1, "conflict: only one issues");
         service_indexed(&mut states, &mut srf, 1, &p, &mut rr, &mut traffic);
-        assert_eq!(traffic.inlane_words, 2, "the delayed access issues next cycle");
+        assert_eq!(
+            traffic.inlane_words, 2,
+            "the delayed access issues next cycle"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! # Example: the paper's table-lookup kernel end to end
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use isrf_core::config::{ConfigName, MachineConfig};
 //! use isrf_kernel::ir::{KernelBuilder, StreamKind};
 //! use isrf_kernel::sched::{schedule, SchedParams};
@@ -44,7 +44,7 @@
 //! let v = b.idx_load(s_lut, a);
 //! let c = b.add(a, v);
 //! b.seq_write(s_out, c);
-//! let kernel = Rc::new(b.build()?);
+//! let kernel = Arc::new(b.build()?);
 //! let sched = schedule(&kernel, &SchedParams::from_machine(&cfg))?;
 //!
 //! // Memory layout: a 256-entry table replicated per lane, and 64 inputs.
@@ -63,7 +63,7 @@
 //! let mut p = StreamProgram::new();
 //! let l1 = p.load(AddrPattern::contiguous(0, 256 * 8), lut, false, &[]);
 //! let l2 = p.load(AddrPattern::contiguous(4096, 64), input, false, &[]);
-//! let k = p.kernel(Rc::clone(&kernel), sched, vec![input, lut, output], 8, &[l1, l2]);
+//! let k = p.kernel(Arc::clone(&kernel), sched, vec![input, lut, output], 8, &[l1, l2]);
 //! p.store(output, AddrPattern::contiguous(8192, 64), false, &[k]);
 //!
 //! let stats = machine.run(&p);

@@ -15,7 +15,7 @@
 //! fill/drain, output flush, and everything else).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_core::config::{ConfigError, MachineConfig};
 use isrf_core::stats::RunStats;
@@ -301,9 +301,7 @@ impl Machine {
             {
                 kernel_cursor += 1;
             }
-            if kernel_run.is_none()
-                && kernel_cursor < n
-                && deps_done(&done, kernel_cursor, program)
+            if kernel_run.is_none() && kernel_cursor < n && deps_done(&done, kernel_cursor, program)
             {
                 if let ProgOp::Kernel {
                     kernel,
@@ -317,7 +315,7 @@ impl Machine {
                         kernel_cursor,
                         KernelRun::new(
                             &self.cfg,
-                            Rc::clone(kernel),
+                            Arc::clone(kernel),
                             schedule.clone(),
                             bindings.clone(),
                             *iters,
@@ -439,8 +437,8 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isrf_core::config::ConfigName;
     use crate::program::ProgOpId;
+    use isrf_core::config::ConfigName;
     use isrf_kernel::ir::{KernelBuilder, Operand, StreamKind};
     use isrf_kernel::sched::{schedule, SchedParams, Schedule};
     use isrf_kernel::Kernel;
@@ -465,7 +463,7 @@ mod tests {
         let two = b.constant(2);
         let y = b.mul(x, two);
         b.seq_write(so, y);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
 
         let n = 256u32;
@@ -476,17 +474,24 @@ mod tests {
         let outp = m.alloc_stream(1, n);
         let mut p = StreamProgram::new();
         let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
-        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
         p.store(outp, AddrPattern::contiguous(10_000, n), false, &[kk]);
         let stats = m.run(&p);
 
         for i in 0..n {
-            assert_eq!(m.mem().memory().read(10_000 + i), 2 * (i + 1), "element {i}");
+            assert_eq!(
+                m.mem().memory().read(10_000 + i),
+                2 * (i + 1),
+                "element {i}"
+            );
         }
         assert!(stats.cycles > 0);
         assert_eq!(stats.mem.total(), (n as u64) * 8, "load + store traffic");
         assert!(stats.breakdown.kernel_loop >= (n as u64 / 8), "body cycles");
-        assert!(stats.srf.seq_words >= 2 * n as u64, "both streams through SRF");
+        assert!(
+            stats.srf.seq_words >= 2 * n as u64,
+            "both streams through SRF"
+        );
     }
 
     /// Per-lane running sum via a loop-carried operand.
@@ -506,7 +511,7 @@ mod tests {
             ],
         );
         b.seq_write(so, acc);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
 
         let n = 64u32;
@@ -517,7 +522,7 @@ mod tests {
         let outp = m.alloc_stream(1, n);
         let mut p = StreamProgram::new();
         let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
-        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
         p.store(outp, AddrPattern::contiguous(1000, n), false, &[kk]);
         m.run(&p);
         // Record r = iteration r/8 of lane r%8; running count = r/8 + 1.
@@ -544,7 +549,7 @@ mod tests {
         let rec = b.add(base, wrapped);
         let v = b.idx_load(data, rec);
         b.seq_write(so, v);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
 
         let n = 64u32;
@@ -553,7 +558,13 @@ mod tests {
         let vals: Vec<u32> = (0..n).map(|i| 100 + i).collect();
         m.write_stream(&dstream, &vals);
         let mut p = StreamProgram::new();
-        let kk = p.kernel(Rc::clone(&k), s, vec![dstream, ostream], (n / 8) as u64, &[]);
+        let kk = p.kernel(
+            Arc::clone(&k),
+            s,
+            vec![dstream, ostream],
+            (n / 8) as u64,
+            &[],
+        );
         p.store(ostream, AddrPattern::contiguous(5000, n), false, &[kk]);
         let stats = m.run(&p);
         assert!(stats.srf.crosslane_words >= n as u64);
@@ -580,12 +591,12 @@ mod tests {
         let seven = b.constant(7);
         let addr = b.sub(seven, iter);
         b.idx_write(dst, addr, v);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
 
         let dstream = m.alloc_stream(1, 64);
         let mut p = StreamProgram::new();
-        p.kernel(Rc::clone(&k), s, vec![dstream], 8, &[]);
+        p.kernel(Arc::clone(&k), s, vec![dstream], 8, &[]);
         m.run(&p);
         for lane in 0..8usize {
             for iter in 0..8u32 {
@@ -608,7 +619,7 @@ mod tests {
         let one = b.constant(1);
         let odd = b.and(x, one);
         b.cond_write(so, odd, x);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
 
         let n = 64u32;
@@ -619,12 +630,14 @@ mod tests {
         let outp = m.alloc_stream(1, n / 2);
         let mut p = StreamProgram::new();
         let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
-        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
         p.store(outp, AddrPattern::contiguous(2000, n / 2), false, &[kk]);
         m.run(&p);
         // Each iteration processes records 8j..8j+8 = values 8j..8j+8; the
         // odd ones (4 per iteration) are appended in lane order.
-        let got: Vec<u32> = (0..n / 2).map(|i| m.mem().memory().read(2000 + i)).collect();
+        let got: Vec<u32> = (0..n / 2)
+            .map(|i| m.mem().memory().read(2000 + i))
+            .collect();
         let expect: Vec<u32> = (0..n).filter(|v| v % 2 == 1).collect();
         assert_eq!(got, expect);
     }
@@ -644,7 +657,7 @@ mod tests {
         let even = b.eq(lsb, zero);
         let v = b.cond_read(si, even);
         b.seq_write(so, v);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
 
         let inp = m.alloc_stream(1, 32);
@@ -652,7 +665,7 @@ mod tests {
         let vals: Vec<u32> = (0..32).map(|i| 500 + i).collect();
         m.write_stream(&inp, &vals);
         let mut p = StreamProgram::new();
-        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], 8, &[]);
+        let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], 8, &[]);
         p.store(outp, AddrPattern::contiguous(3000, 64), false, &[kk]);
         m.run(&p);
         // Iteration j: lanes 0,2,4,6 receive elements 4j..4j+4.
@@ -678,11 +691,11 @@ mod tests {
         let v = b.mul(lane, c10);
         let r = b.comm_rotate(1, v);
         b.seq_write(so, r);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
         let outp = m.alloc_stream(1, 8);
         let mut p = StreamProgram::new();
-        p.kernel(Rc::clone(&k), s, vec![outp], 1, &[]);
+        p.kernel(Arc::clone(&k), s, vec![outp], 1, &[]);
         m.run(&p);
         let got = m.read_stream(&outp);
         // Lane l receives the value of lane (l+1) % 8.
@@ -699,14 +712,14 @@ mod tests {
         let so = b.stream("out", StreamKind::SeqOut);
         let x = b.seq_read(si);
         b.seq_write(so, x);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
         let n = 8192u32;
         let inp = m.alloc_stream(1, n);
         let outp = m.alloc_stream(1, n);
         let mut p = StreamProgram::new();
         let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
-        let kk = p.kernel(Rc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
+        let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
         let _ = kk;
         let stats = m.run(&p);
         // The load takes ~3600 cycles; the kernel only ~1000. Waiting for
@@ -733,7 +746,7 @@ mod tests {
                 v = b.mul(v, x);
             }
             b.seq_write(so, v);
-            let k = Rc::new(b.build().unwrap());
+            let k = Arc::new(b.build().unwrap());
             let s = sched_for(&m, &k);
             let strip = 2048u32;
             let strips = 4u32;
@@ -764,7 +777,7 @@ mod tests {
                     kdeps.push(lk);
                 }
                 let kk = p.kernel(
-                    Rc::clone(&k),
+                    Arc::clone(&k),
                     s.clone(),
                     vec![bufs[pick], obufs[pick]],
                     (strip / 8) as u64,
@@ -798,7 +811,7 @@ mod tests {
             let v = b.idx_load(lut, a);
             let y = b.add(x, v);
             b.seq_write(so, y);
-            let k = Rc::new(b.build().unwrap());
+            let k = Arc::new(b.build().unwrap());
             let s = sched_for(&m, &k);
             let inp = m.alloc_stream(1, 512);
             let lutb = m.alloc_stream(1, 256 * 8);
@@ -808,7 +821,7 @@ mod tests {
             let lvals: Vec<u32> = (0..2048).map(|i| i / 8).collect();
             m.write_stream(&lutb, &lvals);
             let mut p = StreamProgram::new();
-            let kk = p.kernel(Rc::clone(&k), s, vec![inp, lutb, outp], 64, &[]);
+            let kk = p.kernel(Arc::clone(&k), s, vec![inp, lutb, outp], 64, &[]);
             p.store(outp, AddrPattern::contiguous(9000, 512), false, &[kk]);
             m.run(&p)
         }
@@ -828,7 +841,7 @@ mod tests {
         let a = b.and(x, mask);
         let v = b.idx_load(lut, a);
         b.seq_write(so, v);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
         let inp = m.alloc_stream(1, 64);
         let lutb = m.alloc_stream(1, 256 * 8);
@@ -839,7 +852,7 @@ mod tests {
         let lvals: Vec<u32> = (0..2048).map(|r| 7000 + r / 8).collect();
         m.write_stream(&lutb, &lvals);
         let mut p = StreamProgram::new();
-        let kk = p.kernel(Rc::clone(&k), s, vec![inp, lutb, outp], 8, &[]);
+        let kk = p.kernel(Arc::clone(&k), s, vec![inp, lutb, outp], 8, &[]);
         p.store(outp, AddrPattern::contiguous(9000, 64), false, &[kk]);
         let stats = m.run(&p);
         for i in 0..64u32 {
@@ -865,11 +878,11 @@ mod tests {
         let rd = b.scratch_read(addr);
         let _ = is0;
         b.seq_write(so, rd);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = sched_for(&m, &k);
         let outp = m.alloc_stream(1, 16);
         let mut p = StreamProgram::new();
-        p.kernel(Rc::clone(&k), s, vec![outp], 2, &[]);
+        p.kernel(Arc::clone(&k), s, vec![outp], 2, &[]);
         m.run(&p);
         let got = m.read_stream(&outp);
         let expect: Vec<u32> = (0..16).map(|r| r % 8).collect();
@@ -885,15 +898,15 @@ mod edge_tests {
     use isrf_kernel::ir::{KernelBuilder, StreamKind};
     use isrf_kernel::sched::{schedule, SchedParams};
     use isrf_mem::AddrPattern;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn copy_kernel() -> Rc<isrf_kernel::Kernel> {
+    fn copy_kernel() -> Arc<isrf_kernel::Kernel> {
         let mut b = KernelBuilder::new("copy");
         let i = b.stream("in", StreamKind::SeqIn);
         let o = b.stream("out", StreamKind::SeqOut);
         let x = b.seq_read(i);
         b.seq_write(o, x);
-        Rc::new(b.build().unwrap())
+        Arc::new(b.build().unwrap())
     }
 
     #[test]
@@ -942,7 +955,7 @@ mod edge_tests {
         let data: Vec<u32> = (0..64).map(|i| i * 3).collect();
         m.write_stream(&a, &data);
         let mut p = StreamProgram::new();
-        let k1 = p.kernel(Rc::clone(&k), s.clone(), vec![a, b], 8, &[]);
+        let k1 = p.kernel(Arc::clone(&k), s.clone(), vec![a, b], 8, &[]);
         p.kernel(k, s, vec![b, c], 8, &[k1]);
         m.run(&p);
         assert_eq!(m.read_stream(&c), data);
@@ -962,7 +975,7 @@ mod edge_tests {
         let x = b.seq_read(sin);
         let v = b.idx_load(lut, x);
         b.seq_write(so, v);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
         let mut m = Machine::new(cfg).unwrap();
         let inp = m.alloc_stream(1, 16);
@@ -1023,7 +1036,7 @@ mod trace_tests {
     use isrf_kernel::ir::{KernelBuilder, StreamKind};
     use isrf_kernel::sched::{schedule, SchedParams};
     use isrf_mem::AddrPattern;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn trace_records_overlap_in_order() {
@@ -1033,7 +1046,7 @@ mod trace_tests {
         let o = b.stream("out", StreamKind::SeqOut);
         let x = b.seq_read(i);
         b.seq_write(o, x);
-        let k = Rc::new(b.build().unwrap());
+        let k = Arc::new(b.build().unwrap());
         let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
         let mut m = Machine::new(cfg).unwrap();
         m.set_trace(true);
@@ -1051,7 +1064,10 @@ mod trace_tests {
         assert!(pos(&TraceEvent::MemStart(0, 64)) < pos(&TraceEvent::KernelStart(1, "t".into())));
         assert!(pos(&TraceEvent::MemEnd(0)) < pos(&TraceEvent::KernelEnd(1)));
         assert!(pos(&TraceEvent::KernelEnd(1)) < pos(&TraceEvent::MemEnd(2)));
-        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0), "cycles monotone");
+        assert!(
+            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            "cycles monotone"
+        );
         m.clear_trace();
         assert!(m.trace().is_empty());
     }
@@ -1076,7 +1092,7 @@ mod contention_tests {
     use isrf_kernel::ir::{KernelBuilder, StreamKind};
     use isrf_kernel::sched::{schedule, SchedParams};
     use isrf_mem::AddrPattern;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// A concurrent bulk memory transfer steals SRF-port cycles from the
     /// kernel's stream grants: the kernel slows down even though its data
@@ -1098,7 +1114,7 @@ mod contention_tests {
                 let x = b.seq_read(*i);
                 b.seq_write(*o, x);
             }
-            let k = Rc::new(b.build().unwrap());
+            let k = Arc::new(b.build().unwrap());
             let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
             let mut m = Machine::new(cfg).unwrap();
             let n = 2048u32;

@@ -12,7 +12,7 @@
 //! first. Strip-mined applications chain `load(strip i+1)` in parallel with
 //! `kernel(strip i)` and `store(strip i-1)` — classic double buffering.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf_kernel::ir::Kernel;
 use isrf_kernel::sched::Schedule;
@@ -23,6 +23,13 @@ use crate::stream::StreamBinding;
 /// Identifies an op within a [`StreamProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProgOpId(pub(crate) usize);
+
+impl ProgOpId {
+    /// Index into the program's op list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// One stream-level operation.
 #[derive(Debug, Clone)]
@@ -74,7 +81,7 @@ pub enum ProgOp {
     /// Run a kernel over bound streams.
     Kernel {
         /// The kernel body.
-        kernel: Rc<Kernel>,
+        kernel: Arc<Kernel>,
         /// Its modulo schedule.
         schedule: Schedule,
         /// One binding per kernel stream slot.
@@ -110,6 +117,21 @@ impl StreamProgram {
     /// True when the program has no ops.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// The op at index `i` together with its dependences.
+    ///
+    /// Ops are stored in a topological order — every dependence points to
+    /// an earlier index — so executing ops in index order respects the
+    /// program's partial order (the functional reference executor relies
+    /// on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn node(&self, i: usize) -> (&ProgOp, &[ProgOpId]) {
+        let n = &self.nodes[i];
+        (&n.op, &n.deps)
     }
 
     fn push(&mut self, op: ProgOp, deps: &[ProgOpId]) -> ProgOpId {
@@ -249,7 +271,7 @@ impl StreamProgram {
     /// or a dependence references a later op.
     pub fn kernel(
         &mut self,
-        kernel: Rc<Kernel>,
+        kernel: Arc<Kernel>,
         schedule: Schedule,
         bindings: Vec<StreamBinding>,
         iters: u64,

@@ -71,7 +71,10 @@ impl StreamBinding {
     ) -> Self {
         // stride == 0 is a *periodic* window: every run re-reads the same
         // records (used for repeating constant streams like FFT twiddles).
-        assert!(run > 0 && (stride == 0 || stride >= run), "runs must not overlap");
+        assert!(
+            run > 0 && (stride == 0 || stride >= run),
+            "runs must not overlap"
+        );
         StreamBinding {
             range,
             record_words,

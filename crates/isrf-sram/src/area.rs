@@ -250,21 +250,30 @@ mod tests {
     fn isrf1_overhead_matches_paper() {
         let (m, g) = model();
         let o = m.overhead_vs_sequential(&g, SrfVariant::Inlane1);
-        assert!((0.09..=0.13).contains(&o), "ISRF1 overhead {o:.3} vs paper 0.11");
+        assert!(
+            (0.09..=0.13).contains(&o),
+            "ISRF1 overhead {o:.3} vs paper 0.11"
+        );
     }
 
     #[test]
     fn isrf4_overhead_matches_paper() {
         let (m, g) = model();
         let o = m.overhead_vs_sequential(&g, SrfVariant::Inlane4);
-        assert!((0.16..=0.20).contains(&o), "ISRF4 overhead {o:.3} vs paper 0.18");
+        assert!(
+            (0.16..=0.20).contains(&o),
+            "ISRF4 overhead {o:.3} vs paper 0.18"
+        );
     }
 
     #[test]
     fn crosslane_overhead_matches_paper() {
         let (m, g) = model();
         let o = m.overhead_vs_sequential(&g, SrfVariant::CrossLane);
-        assert!((0.20..=0.24).contains(&o), "cross-lane overhead {o:.3} vs paper 0.22");
+        assert!(
+            (0.20..=0.24).contains(&o),
+            "cross-lane overhead {o:.3} vs paper 0.22"
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ mod tests {
     fn indexed_access_is_about_a_tenth_of_a_nanojoule() {
         let (m, g) = model();
         let e = m.indexed_word_nj(&g);
-        assert!((0.08..=0.12).contains(&e), "indexed access {e:.3} nJ vs paper ~0.1");
+        assert!(
+            (0.08..=0.12).contains(&e),
+            "indexed access {e:.3} nJ vs paper ~0.1"
+        );
     }
 
     #[test]

@@ -95,7 +95,12 @@ impl TimingModel {
 
     /// Pipeline stages at `clock_ghz` for each path (the Table 3 latency
     /// arithmetic: sequential 3 cycles, in-lane indexed 4).
-    pub fn pipeline_stages(&self, geom: &SrfGeometry, variant: SrfVariant, clock_ghz: f64) -> (u32, u32) {
+    pub fn pipeline_stages(
+        &self,
+        geom: &SrfGeometry,
+        variant: SrfVariant,
+        clock_ghz: f64,
+    ) -> (u32, u32) {
         let period = 1.0 / clock_ghz;
         // One stage each for address transport and data return, plus the
         // array access itself.
@@ -121,7 +126,11 @@ mod tests {
     fn sequential_path_is_variant_independent() {
         let (m, g) = model();
         let base = m.sequential_access_ns(&g, SrfVariant::Sequential);
-        for v in [SrfVariant::Inlane1, SrfVariant::Inlane4, SrfVariant::CrossLane] {
+        for v in [
+            SrfVariant::Inlane1,
+            SrfVariant::Inlane4,
+            SrfVariant::CrossLane,
+        ] {
             assert_eq!(m.sequential_access_ns(&g, v), base);
         }
     }

@@ -18,8 +18,7 @@ fn main() {
     let stats = run(ConfigName::Isrf4, &params);
     println!(
         "ISRF4: {} cycles, {} indexed reads + writes, all counts exact",
-        stats.cycles,
-        stats.srf.inlane_words
+        stats.cycles, stats.srf.inlane_words
     );
 
     // Violate the software hazard discipline on purpose: every iteration

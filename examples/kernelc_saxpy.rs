@@ -5,7 +5,7 @@
 //! cargo run --release --example kernelc_saxpy
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf::core::config::{ConfigName, MachineConfig};
 use isrf::core::word::{as_f32, from_f32};
@@ -32,7 +32,7 @@ kernel saxpy(
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = Rc::new(isrf::lang::parse_kernel(SAXPY)?);
+    let kernel = Arc::new(isrf::lang::parse_kernel(SAXPY)?);
     let cfg = MachineConfig::preset(ConfigName::Base);
     let sched = schedule(&kernel, &SchedParams::from_machine(&cfg))?;
     println!(
@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = Machine::new(cfg)?;
     let n = 256u32;
     for i in 0..n {
-        m.mem_mut().memory_mut().write(i, from_f32(i as f32 * 0.125));
+        m.mem_mut()
+            .memory_mut()
+            .write(i, from_f32(i as f32 * 0.125));
         m.mem_mut().memory_mut().write(0x1000 + i, from_f32(1.0));
     }
     let xs = m.alloc_stream(1, n);
@@ -56,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l1 = p.load(AddrPattern::contiguous(0, n), xs, false, &[]);
     let l2 = p.load(AddrPattern::contiguous(0x1000, n), ys, false, &[]);
     let k = p.kernel(
-        Rc::clone(&kernel),
+        Arc::clone(&kernel),
         sched,
         vec![xs, ys, out, peak],
         (n / 8) as u64,

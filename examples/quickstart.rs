@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf::core::config::{ConfigName, MachineConfig};
 use isrf::kernel::sched::{schedule, SchedParams};
@@ -30,7 +30,7 @@ kernel lookup(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Compile the KernelC source to the kernel IR and schedule it.
-    let kernel = Rc::new(isrf::lang::parse_kernel(FIGURE_10)?);
+    let kernel = Arc::new(isrf::lang::parse_kernel(FIGURE_10)?);
     let cfg = MachineConfig::preset(ConfigName::Isrf4);
     let sched = schedule(&kernel, &SchedParams::from_machine(&cfg))?;
     println!(
@@ -61,12 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = m.alloc_stream(1, n);
     let output = m.alloc_stream(1, n);
     let mut p = StreamProgram::new();
-    let table_pattern =
-        AddrPattern::Indexed((0..256 * lanes).map(|r| r / lanes * lanes + r % lanes).collect());
+    let table_pattern = AddrPattern::Indexed(
+        (0..256 * lanes)
+            .map(|r| r / lanes * lanes + r % lanes)
+            .collect(),
+    );
     let l1 = p.load(table_pattern, lut, false, &[]);
     let l2 = p.load(AddrPattern::contiguous(0x1_0000, n), input, false, &[]);
     let k = p.kernel(
-        Rc::clone(&kernel),
+        Arc::clone(&kernel),
         sched,
         vec![input, lut, output],
         (n / lanes) as u64,

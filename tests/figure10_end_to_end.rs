@@ -2,7 +2,7 @@
 //! by `isrf-lang`, scheduled by `isrf-kernel`, and executed on the
 //! `isrf-sim` machine against `isrf-mem`'s memory system.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf::core::config::{ConfigName, MachineConfig};
 use isrf::kernel::sched::{schedule, SchedParams};
@@ -26,7 +26,7 @@ kernel lookup(
 
 #[test]
 fn figure_10_compiles_and_runs() {
-    let kernel = Rc::new(isrf::lang::parse_kernel(FIGURE_10).expect("parses"));
+    let kernel = Arc::new(isrf::lang::parse_kernel(FIGURE_10).expect("parses"));
     let cfg = MachineConfig::preset(ConfigName::Isrf4);
     let sched = schedule(&kernel, &SchedParams::from_machine(&cfg)).expect("schedules");
     let mut m = Machine::new(cfg).expect("machine builds");
@@ -50,7 +50,7 @@ fn figure_10_compiles_and_runs() {
     let l1 = p.load(AddrPattern::contiguous(0, 256 * lanes), lut, false, &[]);
     let l2 = p.load(AddrPattern::contiguous(0x1_0000, n), input, false, &[]);
     let k = p.kernel(
-        Rc::clone(&kernel),
+        Arc::clone(&kernel),
         sched,
         vec![input, lut, output],
         (n / lanes) as u64,
@@ -73,7 +73,7 @@ fn figure_10_compiles_and_runs() {
 
 #[test]
 fn figure_10_needs_an_indexed_srf() {
-    let kernel = Rc::new(isrf::lang::parse_kernel(FIGURE_10).expect("parses"));
+    let kernel = Arc::new(isrf::lang::parse_kernel(FIGURE_10).expect("parses"));
     // Scheduling is machine-independent...
     let base_cfg = MachineConfig::preset(ConfigName::Base);
     let sched = schedule(&kernel, &SchedParams::from_machine(&base_cfg)).expect("schedules");

@@ -3,7 +3,7 @@
 //! their outputs must match a direct host-side evaluation — on every
 //! machine configuration, for any schedule the modulo scheduler picks.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use isrf::core::config::{ConfigName, MachineConfig};
 use isrf::kernel::ir::{Kernel, KernelBuilder, StreamKind, ValueId};
@@ -73,18 +73,25 @@ fn build_kernel(nodes: &[Node]) -> Kernel {
 
 fn node_dag() -> impl Strategy<Value = Vec<Node>> {
     // First node is the input; each later node references earlier ones.
-    prop::collection::vec((any::<u8>(), any::<prop::sample::Index>(), any::<prop::sample::Index>()), 1..24)
-        .prop_map(|ops| {
-            let mut nodes = vec![Node::Input];
-            for (code, i, j) in ops {
-                let n = nodes.len();
-                nodes.push(Node::Op(code, i.index(n), j.index(n)));
-            }
-            nodes
-        })
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+        ),
+        1..24,
+    )
+    .prop_map(|ops| {
+        let mut nodes = vec![Node::Input];
+        for (code, i, j) in ops {
+            let n = nodes.len();
+            nodes.push(Node::Op(code, i.index(n), j.index(n)));
+        }
+        nodes
+    })
 }
 
-fn run_on(cfg: ConfigName, kernel: &Rc<Kernel>, inputs: &[u32]) -> Vec<u32> {
+fn run_on(cfg: ConfigName, kernel: &Arc<Kernel>, inputs: &[u32]) -> Vec<u32> {
     let mcfg = MachineConfig::preset(cfg);
     let sched = schedule(kernel, &SchedParams::from_machine(&mcfg)).expect("schedules");
     let mut m = Machine::new(mcfg).expect("machine builds");
@@ -94,10 +101,18 @@ fn run_on(cfg: ConfigName, kernel: &Rc<Kernel>, inputs: &[u32]) -> Vec<u32> {
     let ob = m.alloc_stream(1, n);
     let mut p = StreamProgram::new();
     let l = p.load(AddrPattern::contiguous(0, n), ib, false, &[]);
-    let k = p.kernel(Rc::clone(kernel), sched, vec![ib, ob], (n / 8) as u64, &[l]);
+    let k = p.kernel(
+        Arc::clone(kernel),
+        sched,
+        vec![ib, ob],
+        (n / 8) as u64,
+        &[l],
+    );
     p.store(ob, AddrPattern::contiguous(0x1_0000, n), false, &[k]);
     m.run(&p);
-    (0..n).map(|i| m.mem().memory().read(0x1_0000 + i)).collect()
+    (0..n)
+        .map(|i| m.mem().memory().read(0x1_0000 + i))
+        .collect()
 }
 
 proptest! {
@@ -112,11 +127,11 @@ proptest! {
     ) {
         // Pad to a lane multiple so every lane sees the same iteration count.
         let mut inputs = inputs;
-        while inputs.len() % 8 != 0 {
+        while !inputs.len().is_multiple_of(8) {
             inputs.push(0);
         }
         let expect: Vec<u32> = inputs.iter().map(|&x| eval(&nodes, x)).collect();
-        let kernel = Rc::new(build_kernel(&nodes));
+        let kernel = Arc::new(build_kernel(&nodes));
         for cfg in [ConfigName::Base, ConfigName::Isrf4] {
             let got = run_on(cfg, &kernel, &inputs);
             prop_assert_eq!(&got, &expect, "config {}", cfg);

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the proptest API its property tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! [`arbitrary::any`], range and tuple strategies, `prop_map`,
+//! [`collection::vec`] and [`sample::Index`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a seed derived deterministically from the test's module
+//! path and name (reproducible across runs and machines, no persistence
+//! files), and failing cases are *not* shrunk — the panic reports the
+//! case number and assertion message only.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` the workspace uses.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(any::<u8>(), 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}`: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a property body; failure aborts only the current case
+/// with a message (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges, tuples, vec and Index compose and stay in bounds.
+        #[test]
+        fn strategies_compose(
+            x in 0u32..100,
+            (a, b) in (any::<u8>(), any::<bool>()),
+            v in prop::collection::vec(any::<u32>(), 1..20),
+            idx in any::<prop::sample::Index>(),
+            y in (0u32..10).prop_map(|k| k * 2),
+        ) {
+            prop_assert!(x < 100);
+            let _ = (a, b);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(idx.index(v.len()) < v.len());
+            prop_assert!(y % 2 == 0 && y < 20, "y = {}", y);
+        }
+
+        /// Inclusive vec sizes reach both ends eventually.
+        #[test]
+        fn inclusive_sizes(v in prop::collection::vec(any::<u8>(), 3..=5)) {
+            prop_assert!((3..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn failures_report_case() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

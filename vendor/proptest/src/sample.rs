@@ -1,0 +1,45 @@
+//! Sampling helpers ([`Index`]).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position into a collection of as-yet-unknown size.
+///
+/// Generated via `any::<prop::sample::Index>()`; call [`Index::index`]
+/// with the collection length to resolve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_bounds() {
+        let mut rng = TestRng::deterministic("sample::tests");
+        for _ in 0..100 {
+            let ix = Index::arbitrary(&mut rng);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+}
