@@ -15,4 +15,24 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny warnings)"
+# Our crates only: --workspace would also pull in the vendored stand-ins,
+# whose docs we do not police.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p isrf -p isrf-core -p isrf-trace -p isrf-sram -p isrf-mem \
+  -p isrf-kernel -p isrf-sim -p isrf-apps -p isrf-lang -p isrf-check \
+  -p isrf-bench
+
+echo "==> trace smoke test"
+# One app on one config: the audit must pass (exit 0) and the emitted
+# Chrome trace must parse as JSON.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/trace sort isrf4 --out-dir "$smoke_dir"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$smoke_dir/sort_isrf4.trace.json" 2>/dev/null \
+  || node -e "JSON.parse(require('fs').readFileSync(process.argv[1]))" \
+    "$smoke_dir/sort_isrf4.trace.json" 2>/dev/null \
+  || { echo "no python3/node for JSON check; relying on built-in validator"; }
+
 echo "CI OK"

@@ -1,10 +1,13 @@
 //! Regenerate every evaluation figure and table of the paper as text.
 //!
 //! Usage: `figures [all|table3|table4|area|energy|fig11|fig12|fig13|fig14|
-//! fig15|fig16|fig17|fig18|summary] [--paper]`
+//! fig15|fig16|fig17|fig18|summary] [--paper] [--list]`
 //!
 //! `--paper` uses the paper's workload sizes (slower); the default uses
-//! reduced sizes with the same shapes.
+//! reduced sizes with the same shapes. `--list` prints the known targets,
+//! one per line, and exits. The benchmark-driven figures (11, 12, 13,
+//! summary) additionally write machine-readable JSON next to the text
+//! tables, under `results/bench_<fig>.json`.
 
 use isrf_bench as figs;
 use isrf_bench::Profile;
@@ -15,6 +18,20 @@ fn profile(args: &[String]) -> Profile {
         Profile::Paper
     } else {
         Profile::Small
+    }
+}
+
+/// Write a figure's JSON rendering to `results/bench_<fig>.json`.
+fn write_json(fig: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("bench_{fig}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }
 
@@ -94,9 +111,11 @@ fn energy() {
 fn fig11(p: Profile) {
     println!("== Figure 11: off-chip traffic normalized to Base ==");
     println!("{:<10} {:>8} {:>8}", "benchmark", "ISRF", "Cache");
-    for (name, isrf, cache) in figs::fig11(p) {
+    let rows = figs::fig11(p);
+    for (name, isrf, cache) in &rows {
         println!("{name:<10} {isrf:>8.3} {cache:>8.3}");
     }
+    write_json("fig11", &figs::fig11_json(&rows));
 }
 
 fn fig12(p: Profile) {
@@ -105,7 +124,8 @@ fn fig12(p: Profile) {
         "{:<10} {:<6} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "benchmark", "config", "loop", "mem", "srf", "ovh", "total"
     );
-    for r in figs::fig12(p) {
+    let rows = figs::fig12(p);
+    for r in &rows {
         println!(
             "{:<10} {:<6} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
             r.benchmark,
@@ -117,6 +137,7 @@ fn fig12(p: Profile) {
             r.total()
         );
     }
+    write_json("fig12", &figs::fig12_json(&rows));
 }
 
 fn fig13(p: Profile) {
@@ -125,12 +146,14 @@ fn fig13(p: Profile) {
         "{:<10} {:>10} {:>10} {:>10} {:>8}",
         "benchmark", "sequential", "cross-lane", "in-lane", "total"
     );
-    for (name, [seq, xl, inl]) in figs::fig13(p) {
+    let rows = figs::fig13(p);
+    for (name, [seq, xl, inl]) in &rows {
         println!(
             "{name:<10} {seq:>10.3} {xl:>10.3} {inl:>10.3} {:>8.3}",
             seq + xl + inl
         );
     }
+    write_json("fig13", &figs::fig13_json(&rows));
 }
 
 fn sweep_table(rows: &[(String, Vec<(u32, f64)>)]) {
@@ -188,9 +211,11 @@ fn summary(p: Profile) {
         "{:<10} {:>8} {:>12} {:>13}",
         "benchmark", "speedup", "traffic cut", "energy ratio"
     );
-    for (name, sp, cut, er) in figs::summary(p) {
+    let rows = figs::summary(p);
+    for (name, sp, cut, er) in &rows {
         println!("{name:<10} {sp:>7.2}x {:>11.1}% {er:>13.2}", cut * 100.0);
     }
+    write_json("summary", &figs::summary_json(&rows));
 }
 
 const TARGETS: [&str; 14] = [
@@ -200,6 +225,12 @@ const TARGETS: [&str; 14] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for t in TARGETS {
+            println!("{t}");
+        }
+        return;
+    }
     let p = profile(&args);
     let what = args
         .iter()

@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use isrf_apps::common::set_separation_override;
+use isrf_apps::common::{set_separation_override, Prepared};
 use isrf_apps::{fft2d, filter, igraph, micro, rijndael, sort};
 use isrf_check::run_parallel;
 use isrf_core::config::{ConfigName, MachineConfig};
@@ -31,6 +31,61 @@ pub enum Profile {
     Small,
     /// The paper's workload sizes.
     Paper,
+}
+
+/// The five distinct applications (the IG benchmarks share one program
+/// family), by the short names the differential suite and the `trace`
+/// binary use.
+pub const DIFF_APPS: [&str; 5] = ["fft2d", "rijndael", "sort", "filter", "igraph"];
+
+/// Build a ready-to-run machine + program + expected outputs for one app,
+/// without running it — the caller installs tracers, runs, and inspects.
+///
+/// # Panics
+///
+/// Panics on an unknown app name (use [`DIFF_APPS`]).
+pub fn prepare_app(app: &str, cfg: ConfigName, profile: Profile) -> Prepared {
+    let small = profile == Profile::Small;
+    match app {
+        "fft2d" => fft2d::prepare(
+            cfg,
+            &fft2d::Fft2dParams {
+                reps: if small { 1 } else { 2 },
+                ..Default::default()
+            },
+        ),
+        "rijndael" => rijndael::prepare(
+            cfg,
+            &rijndael::RijndaelParams {
+                chains_per_lane: if small { 2 } else { 8 },
+                waves: if small { 2 } else { 4 },
+                strips: if small { 2 } else { 4 },
+                ..Default::default()
+            },
+        ),
+        "sort" => sort::prepare(
+            cfg,
+            &sort::SortParams {
+                keys_per_lane: if small { 64 } else { 512 },
+                ..Default::default()
+            },
+        ),
+        "filter" => filter::prepare(
+            cfg,
+            &filter::FilterParams {
+                rows: if small { 32 } else { 256 },
+                ..Default::default()
+            },
+        ),
+        "igraph" => {
+            let mut ds = igraph::dataset("IG_SML");
+            if small {
+                ds.nodes /= 4;
+            }
+            igraph::prepare(cfg, &ds)
+        }
+        other => panic!("unknown app {other}; expected one of {DIFF_APPS:?}"),
+    }
 }
 
 /// Run one named benchmark on one configuration.
@@ -120,6 +175,12 @@ pub struct Fig12Row {
     /// `[kernel loop, memory stall, SRF stall, overheads]`, as fractions
     /// of the Base configuration's total cycles.
     pub parts: [f64; 4],
+    /// Absolute cycle count of this config's run.
+    pub cycles: u64,
+    /// The un-normalized breakdown, same component order as `parts`.
+    pub raw: [u64; 4],
+    /// Off-chip bytes moved (reads + writes).
+    pub mem_bytes: u64,
 }
 
 impl Fig12Row {
@@ -158,6 +219,9 @@ pub fn fig12(profile: Profile) -> Vec<Fig12Row> {
                     b.srf_stall as f64 / d,
                     b.overhead as f64 / d,
                 ],
+                cycles: stats.cycles,
+                raw: [b.kernel_loop, b.mem_stall, b.srf_stall, b.overhead],
+                mem_bytes: stats.mem.total(),
             });
         }
     }
@@ -360,6 +424,102 @@ pub fn summary(profile: Profile) -> Vec<(String, f64, f64, f64)> {
             em.run_energy_nj(&geom, &isrf) / em.run_energy_nj(&geom, &base).max(1e-9),
         )
     })
+}
+
+/// Render a list of JSON objects (already-rendered `"key": value` field
+/// strings per row) as a pretty-printed JSON array.
+fn json_array(rows: Vec<Vec<String>>) -> String {
+    let body: Vec<String> = rows
+        .into_iter()
+        .map(|fields| format!("  {{{}}}", fields.join(", ")))
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+fn json_str(name: &str, v: &str) -> String {
+    format!("\"{name}\": \"{}\"", isrf_trace::json::escaped(v))
+}
+
+fn json_f64(name: &str, v: f64) -> String {
+    // Finite by construction; fixed precision keeps output diff-stable.
+    format!("\"{name}\": {v:.6}")
+}
+
+fn json_u64(name: &str, v: u64) -> String {
+    format!("\"{name}\": {v}")
+}
+
+/// Figure 11 rows as machine-readable JSON.
+pub fn fig11_json(rows: &[(String, f64, f64)]) -> String {
+    json_array(
+        rows.iter()
+            .map(|(name, isrf, cache)| {
+                vec![
+                    json_str("benchmark", name),
+                    json_f64("isrf", *isrf),
+                    json_f64("cache", *cache),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// Figure 12 rows as machine-readable JSON, including the absolute cycle
+/// counts and raw breakdown behind the normalized fractions.
+pub fn fig12_json(rows: &[Fig12Row]) -> String {
+    json_array(
+        rows.iter()
+            .map(|r| {
+                vec![
+                    json_str("benchmark", &r.benchmark),
+                    json_str("config", &r.config.to_string()),
+                    json_f64("kernel_loop", r.parts[0]),
+                    json_f64("mem_stall", r.parts[1]),
+                    json_f64("srf_stall", r.parts[2]),
+                    json_f64("overhead", r.parts[3]),
+                    json_f64("total", r.total()),
+                    json_u64("cycles", r.cycles),
+                    json_u64("raw_kernel_loop", r.raw[0]),
+                    json_u64("raw_mem_stall", r.raw[1]),
+                    json_u64("raw_srf_stall", r.raw[2]),
+                    json_u64("raw_overhead", r.raw[3]),
+                    json_u64("mem_bytes", r.mem_bytes),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// Figure 13 rows as machine-readable JSON.
+pub fn fig13_json(rows: &[(String, [f64; 3])]) -> String {
+    json_array(
+        rows.iter()
+            .map(|(name, [seq, xl, inl])| {
+                vec![
+                    json_str("benchmark", name),
+                    json_f64("sequential", *seq),
+                    json_f64("crosslane", *xl),
+                    json_f64("inlane", *inl),
+                ]
+            })
+            .collect(),
+    )
+}
+
+/// Headline-summary rows as machine-readable JSON.
+pub fn summary_json(rows: &[(String, f64, f64, f64)]) -> String {
+    json_array(
+        rows.iter()
+            .map(|(name, sp, cut, er)| {
+                vec![
+                    json_str("benchmark", name),
+                    json_f64("speedup", *sp),
+                    json_f64("traffic_cut", *cut),
+                    json_f64("energy_ratio", *er),
+                ]
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 use isrf_core::config::{ConfigName, CrossLaneTopology, MachineConfig};
 use isrf_core::stats::SrfTraffic;
 use isrf_sim::{service_indexed, IdxKind, IdxParams, IdxState, Srf, StreamBinding};
+use isrf_trace::Tracer;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,7 +80,15 @@ pub fn inlane_throughput(subarrays: usize, fifo: usize, separation: u64, cycles:
             }
             issued += 1;
         }
-        service_indexed(&mut states, &mut srf, now, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            now,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
     }
     (popped_iters * n_streams as u64) as f64 / cycles as f64
 }
@@ -188,7 +197,15 @@ pub fn crosslane_throughput_with_topology(
         {
             rr_grant = (winner + 1) % 4;
             if winner == 3 {
-                service_indexed(&mut state, &mut srf, now, &p, &mut rr, &mut traffic);
+                service_indexed(
+                    &mut state,
+                    &mut srf,
+                    now,
+                    &p,
+                    &mut rr,
+                    &mut traffic,
+                    &mut Tracer::Null,
+                );
             } else {
                 seq_buf[winner] = (seq_buf[winner] + m as i64).min(8);
             }

@@ -5,8 +5,12 @@ use std::fmt;
 use isrf_core::stats::RunStats;
 use isrf_sim::machine::Machine;
 use isrf_sim::program::StreamProgram;
+use isrf_trace::Tracer;
 
 use crate::refexec::{RefCounts, RefMachine};
+
+/// How many trailing trace events a [`DiffFailure`] carries.
+const TRACE_TAIL: usize = 32;
 
 /// Where a differential run diverged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,11 +23,14 @@ pub enum DiffError {
     InlaneCount(u64, u64),
     /// Cross-lane indexed word counts differ: `(machine, reference)`.
     CrosslaneCount(u64, u64),
+    /// The trace-event audit disagrees with the machine's reported
+    /// Figure-12 cycle breakdown.
+    Audit(String),
 }
 
 impl fmt::Display for DiffError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             DiffError::Memory(addr, m, r) => {
                 write!(f, "memory[{addr:#x}]: machine {m:#x} != reference {r:#x}")
             }
@@ -37,7 +44,35 @@ impl fmt::Display for DiffError {
             DiffError::CrosslaneCount(m, r) => {
                 write!(f, "cross-lane indexed words: machine {m} != reference {r}")
             }
+            DiffError::Audit(msg) => write!(f, "cycle-attribution audit: {msg}"),
         }
+    }
+}
+
+/// A failed differential run: every divergence found, plus the last few
+/// trace events leading up to the end of the run for post-mortem context.
+#[derive(Debug, Clone)]
+pub struct DiffFailure {
+    /// The divergences, in scan order (memory, SRF, counts, audit).
+    pub errors: Vec<DiffError>,
+    /// The final `TRACE_TAIL` recorded events, already rendered one per
+    /// line as `  @<cycle> <event>`.
+    pub trace_tail: Vec<String>,
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} divergence(s):", self.errors.len())?;
+        for e in &self.errors {
+            writeln!(f, "  {e}")?;
+        }
+        if !self.trace_tail.is_empty() {
+            writeln!(f, "last {} trace events:", self.trace_tail.len())?;
+            for line in &self.trace_tail {
+                writeln!(f, "{line}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -60,18 +95,28 @@ pub struct DiffOutcome {
 /// * the entire SRF,
 /// * the machine's indexed SRF word counts against the reference's.
 ///
+/// The machine additionally runs under a recording [`Tracer`]; the
+/// event-stream audit must reconstruct the machine's reported Figure-12
+/// cycle breakdown exactly, and any failure report carries the last few
+/// trace events for context.
+///
 /// # Errors
 ///
-/// Returns every divergence found (memory first, then SRF, then counts),
-/// or the machine stats and reference counts on agreement.
+/// Returns every divergence found (memory first, then SRF, then counts,
+/// then audit), or the machine stats and reference counts on agreement.
 pub fn run_differential(
     machine: &mut Machine,
     program: &StreamProgram,
     outputs: &[(u32, u32)],
-) -> Result<DiffOutcome, Vec<DiffError>> {
+) -> Result<DiffOutcome, DiffFailure> {
     let mut reference = RefMachine::from_machine(machine);
     reference.run(program);
+    let prev = machine.set_tracer(Tracer::recording(TRACE_TAIL));
     let stats = machine.run(program);
+    let recorder = machine
+        .set_tracer(prev)
+        .into_recorder()
+        .expect("recording tracer was installed");
 
     let mut errors = Vec::new();
     const MAX_ERRORS: usize = 32;
@@ -125,9 +170,16 @@ pub fn run_differential(
         ));
     }
 
+    for m in recorder.audit().verify(&stats.breakdown) {
+        errors.push(DiffError::Audit(m.to_string()));
+    }
+
     if errors.is_empty() {
         Ok(DiffOutcome { stats, counts })
     } else {
-        Err(errors)
+        Err(DiffFailure {
+            errors,
+            trace_tail: recorder.ring().tail_lines(TRACE_TAIL),
+        })
     }
 }

@@ -25,6 +25,6 @@ pub mod diff;
 pub mod refexec;
 pub mod sweep;
 
-pub use diff::{run_differential, DiffError, DiffOutcome};
+pub use diff::{run_differential, DiffError, DiffFailure, DiffOutcome};
 pub use refexec::{RefCounts, RefMachine};
 pub use sweep::{run_parallel, run_serial};

@@ -44,8 +44,8 @@ fn scale_kernel_matches_reference() {
     let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
     p.store(outp, AddrPattern::contiguous(10_000, n), false, &[kk]);
 
-    let out = run_differential(&mut m, &p, &[(10_000, n)])
-        .unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    let out =
+        run_differential(&mut m, &p, &[(10_000, n)]).unwrap_or_else(|e| panic!("diverged: {e}"));
     assert_eq!(out.counts.inlane_words, 0);
     for i in 0..n {
         assert_eq!(m.mem().memory().read(10_000 + i), 2 * (i + 1));
@@ -77,7 +77,7 @@ fn loop_carried_accumulation_matches_reference() {
     let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
     let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
     p.store(outp, AddrPattern::contiguous(1000, n), false, &[kk]);
-    run_differential(&mut m, &p, &[(1000, n)]).unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    run_differential(&mut m, &p, &[(1000, n)]).unwrap_or_else(|e| panic!("diverged: {e}"));
 }
 
 #[test]
@@ -105,8 +105,8 @@ fn inlane_indexed_lookup_matches_reference_with_exact_counts() {
     let mut p = StreamProgram::new();
     let kk = p.kernel(Arc::clone(&k), s, vec![inp, lutb, outp], 64, &[]);
     p.store(outp, AddrPattern::contiguous(9000, 512), false, &[kk]);
-    let out = run_differential(&mut m, &p, &[(9000, 512)])
-        .unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    let out =
+        run_differential(&mut m, &p, &[(9000, 512)]).unwrap_or_else(|e| panic!("diverged: {e}"));
     assert_eq!(out.counts.inlane_words, 512, "one word per input element");
     assert_eq!(out.counts.crosslane_words, 0);
 }
@@ -145,7 +145,7 @@ fn crosslane_permutation_matches_reference() {
     );
     p.store(ostream, AddrPattern::contiguous(5000, n), false, &[kk]);
     let out =
-        run_differential(&mut m, &p, &[(5000, n)]).unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+        run_differential(&mut m, &p, &[(5000, n)]).unwrap_or_else(|e| panic!("diverged: {e}"));
     assert_eq!(out.counts.crosslane_words, n as u64);
     assert_eq!(out.counts.inlane_words, 0);
 }
@@ -170,8 +170,8 @@ fn indexed_write_scatter_matches_reference() {
     let mut p = StreamProgram::new();
     let kk = p.kernel(Arc::clone(&k), s, vec![dstream], 8, &[]);
     p.store(dstream, AddrPattern::contiguous(4000, 64), false, &[kk]);
-    let out = run_differential(&mut m, &p, &[(4000, 64)])
-        .unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    let out =
+        run_differential(&mut m, &p, &[(4000, 64)]).unwrap_or_else(|e| panic!("diverged: {e}"));
     assert_eq!(out.counts.inlane_words, 64, "one write per lane-iteration");
 }
 
@@ -198,7 +198,7 @@ fn conditional_streams_match_reference() {
     let l = p.load(AddrPattern::contiguous(0, n), inp, false, &[]);
     let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], (n / 8) as u64, &[l]);
     p.store(outp, AddrPattern::contiguous(2000, n / 2), false, &[kk]);
-    run_differential(&mut m, &p, &[(2000, n / 2)]).unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    run_differential(&mut m, &p, &[(2000, n / 2)]).unwrap_or_else(|e| panic!("diverged: {e}"));
 }
 
 #[test]
@@ -224,7 +224,7 @@ fn conditional_read_distribution_matches_reference() {
     let mut p = StreamProgram::new();
     let kk = p.kernel(Arc::clone(&k), s, vec![inp, outp], 8, &[]);
     p.store(outp, AddrPattern::contiguous(3000, 64), false, &[kk]);
-    run_differential(&mut m, &p, &[(3000, 64)]).unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    run_differential(&mut m, &p, &[(3000, 64)]).unwrap_or_else(|e| panic!("diverged: {e}"));
 }
 
 #[test]
@@ -247,7 +247,7 @@ fn comm_and_scratch_match_reference() {
     let mut p = StreamProgram::new();
     let kk = p.kernel(Arc::clone(&k), s, vec![outp], 2, &[]);
     p.store(outp, AddrPattern::contiguous(6000, 16), false, &[kk]);
-    run_differential(&mut m, &p, &[(6000, 16)]).unwrap_or_else(|e| panic!("diverged: {}", e[0]));
+    run_differential(&mut m, &p, &[(6000, 16)]).unwrap_or_else(|e| panic!("diverged: {e}"));
 }
 
 /// The reference executor must *detect* an injected functional divergence,

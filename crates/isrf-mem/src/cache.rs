@@ -87,6 +87,11 @@ impl VectorCache {
         self.misses
     }
 
+    /// Total probes observed so far (hits + misses).
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Hit rate over all probes (0 if never probed).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

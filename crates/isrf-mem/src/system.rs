@@ -22,12 +22,21 @@ use isrf_core::stats::MemTraffic;
 use isrf_core::word::WORD_BYTES;
 use isrf_core::Word;
 
+use isrf_trace::{TraceEvent, Tracer};
+
 use crate::cache::VectorCache;
 use crate::memory::Memory;
 
 /// Handle for an in-flight or completed stream transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TransferId(u64);
+
+impl TransferId {
+    /// The underlying id, as stamped into trace events.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// Address pattern of a stream memory operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -282,6 +291,12 @@ impl MemorySystem {
     /// Advance one cycle: replenish bandwidth credits and serve words of
     /// in-flight transfers round-robin.
     pub fn tick(&mut self) {
+        self.tick_traced(&mut Tracer::Null);
+    }
+
+    /// [`MemorySystem::tick`], emitting transfer/cache events into
+    /// `tracer`.
+    pub fn tick_traced(&mut self, tracer: &mut Tracer) {
         self.now += 1;
         self.served_last_tick = 0;
         // Leaky-bucket credits: accumulate up to a small burst so that
@@ -307,7 +322,7 @@ impl MemorySystem {
                 let Some(mut t) = self.inflight.pop_front() else {
                     break 'serve;
                 };
-                if self.serve_one(&mut t) {
+                if self.serve_one(&mut t, tracer) {
                     progressed = true;
                 }
                 if t.cursor >= t.addrs.len() {
@@ -317,6 +332,7 @@ impl MemorySystem {
                         self.cache_hit_latency
                     };
                     self.completion.insert(t.id, self.now + latency);
+                    tracer.emit(self.now, TraceEvent::TransferServed { id: t.id.raw() });
                 } else {
                     self.inflight.push_back(t);
                 }
@@ -328,7 +344,7 @@ impl MemorySystem {
     }
 
     /// Try to serve the next word of `t`; returns whether a word was served.
-    fn serve_one(&mut self, t: &mut Inflight) -> bool {
+    fn serve_one(&mut self, t: &mut Inflight, tracer: &mut Tracer) -> bool {
         if t.cursor >= t.addrs.len() {
             return false;
         }
@@ -348,6 +364,15 @@ impl MemorySystem {
             let cache = self.cache.as_mut().expect("cacheable implies cache");
             let line_words = cache.line_words() as u64;
             let probe = cache.probe(addr, t.write);
+            if tracer.enabled() {
+                tracer.emit(
+                    self.now,
+                    TraceEvent::CacheProbe {
+                        hit: probe.hit,
+                        writeback: probe.writeback,
+                    },
+                );
+            }
             if probe.hit {
                 self.traffic.cache_hit_bytes += WORD_BYTES;
             } else {

@@ -29,6 +29,8 @@ use isrf_core::{word, Word};
 use isrf_kernel::ir::{Kernel, Opcode, StreamKind};
 use isrf_kernel::sched::Schedule;
 
+use isrf_trace::{StallReason, TraceEvent, Tracer};
+
 use crate::indexed::{service_indexed, IdxKind, IdxParams, IdxState};
 use crate::srf::Srf;
 use crate::stream::{CondInState, CondOutState, SeqInState, SeqOutState, StreamBinding};
@@ -237,6 +239,7 @@ impl KernelRun {
         scratch: &mut [Vec<Word>],
         mem_claims_port: bool,
         traffic: &mut SrfTraffic,
+        tracer: &mut Tracer,
     ) -> Phase {
         // Cross-lane returns share the inter-cluster network: explicit
         // communications (last cycle's) have priority and leave fewer
@@ -254,7 +257,7 @@ impl KernelRun {
             }
         }
         if !mem_claims_port {
-            self.arbitration(now, srf, traffic);
+            self.arbitration(now, srf, traffic, tracer);
         }
         if self.exec_done() {
             if self.is_done() {
@@ -263,7 +266,7 @@ impl KernelRun {
             self.flush_cycles += 1;
             return Phase::Flushing;
         }
-        let advanced = self.fire_cycle(now, scratch);
+        let advanced = self.fire_cycle(now, scratch, tracer);
         if advanced {
             self.t += 1;
             self.advance_cycles += 1;
@@ -283,7 +286,13 @@ impl KernelRun {
 
     /// Stage-1 arbitration: one sequential/conditional stream or all
     /// indexed streams get the port this cycle.
-    fn arbitration(&mut self, now: u64, srf: &mut Srf, traffic: &mut SrfTraffic) {
+    fn arbitration(
+        &mut self,
+        now: u64,
+        srf: &mut Srf,
+        traffic: &mut SrfTraffic,
+        tracer: &mut Tracer,
+    ) {
         let flush = self.exec_done();
         let block = self.lanes * self.m_words;
         let idx_group = self.slots.len();
@@ -312,6 +321,9 @@ impl KernelRun {
             .unwrap_or(&requesters[0]);
         self.rr_grant = (winner + 1) % (self.slots.len() + 1);
         if winner == idx_group {
+            if tracer.enabled() {
+                tracer.emit(now, TraceEvent::IdxGroupGrant);
+            }
             let p = self.idx_params.expect("indexed streams imply indexed SRF");
             service_indexed(
                 &mut self.idx_states,
@@ -320,6 +332,7 @@ impl KernelRun {
                 &p,
                 &mut self.rr_idx,
                 traffic,
+                tracer,
             );
         } else {
             let moved = match &mut self.slots[winner] {
@@ -332,6 +345,15 @@ impl KernelRun {
                 SlotState::Idx(_) => unreachable!("idx slots never request individually"),
             };
             traffic.seq_words += moved;
+            if tracer.enabled() {
+                tracer.emit(
+                    now,
+                    TraceEvent::SeqGrant {
+                        slot: winner as u8,
+                        words: moved as u16,
+                    },
+                );
+            }
         }
     }
 
@@ -402,8 +424,12 @@ impl KernelRun {
         }
     }
 
-    /// Check whether every op firing this cycle can proceed.
-    fn check(&self, firing: &[(u64, usize)], now: u64) -> bool {
+    /// Find the first op firing this cycle that cannot proceed, along with
+    /// why. `None` means every op can fire. The distinction between a
+    /// *starved* sequential input (its stream buffer is empty) and one
+    /// merely waiting out SRF access *latency* (words granted but not yet
+    /// arrived) is what stall attribution reports downstream.
+    fn first_blocker(&self, firing: &[(u64, usize)], now: u64) -> Option<(u8, StallReason)> {
         for &(j, opi) in firing {
             let op = &self.kernel.ops[opi];
             match op.opcode {
@@ -413,7 +439,12 @@ impl KernelRun {
                     };
                     for lane in 0..self.lanes {
                         if !st.can_pop(lane, now) && !st.lane_done(lane) {
-                            return false;
+                            let reason = if st.buffered_words(lane) == 0 {
+                                StallReason::SeqInStarved
+                            } else {
+                                StallReason::SeqInLatency
+                            };
+                            return Some((s.0, reason));
                         }
                     }
                 }
@@ -422,7 +453,7 @@ impl KernelRun {
                         unreachable!();
                     };
                     if (0..self.lanes).any(|l| !st.can_push(l)) {
-                        return false;
+                        return Some((s.0, StallReason::SeqOutFull));
                     }
                 }
                 Opcode::CondLaneRead(s) => {
@@ -432,7 +463,12 @@ impl KernelRun {
                     for lane in 0..self.lanes {
                         let cond = word::as_bool(self.resolve(j, &op.operands[0], lane));
                         if cond && !st.can_pop(lane, now) && !st.lane_done(lane) {
-                            return false;
+                            let reason = if st.buffered_words(lane) == 0 {
+                                StallReason::SeqInStarved
+                            } else {
+                                StallReason::SeqInLatency
+                            };
+                            return Some((s.0, reason));
                         }
                     }
                 }
@@ -445,7 +481,7 @@ impl KernelRun {
                         .count();
                     let k_eff = k.min(st.remaining_words() as usize);
                     if !st.can_pop(k_eff, now) {
-                        return false;
+                        return Some((s.0, StallReason::CondInStarved));
                     }
                 }
                 Opcode::CondWrite(s) => {
@@ -456,7 +492,7 @@ impl KernelRun {
                         .filter(|&l| word::as_bool(self.resolve(j, &op.operands[0], l)))
                         .count();
                     if !st.can_push(k) {
-                        return false;
+                        return Some((s.0, StallReason::CondOutFull));
                     }
                 }
                 Opcode::IdxAddr(s) | Opcode::IdxWrite(s) => {
@@ -464,7 +500,7 @@ impl KernelRun {
                         unreachable!();
                     };
                     if (0..self.lanes).any(|l| !self.idx_states[i].can_push_addr(l)) {
-                        return false;
+                        return Some((s.0, StallReason::AddrFifoFull));
                     }
                 }
                 Opcode::IdxRead(s) => {
@@ -472,24 +508,27 @@ impl KernelRun {
                         unreachable!();
                     };
                     if (0..self.lanes).any(|l| !self.idx_states[i].can_pop_data(l)) {
-                        return false;
+                        return Some((s.0, StallReason::IdxDataNotReady));
                     }
                 }
                 _ => {}
             }
         }
-        true
+        None
     }
 
     /// Fire all ops of this kernel cycle; returns false (and changes
     /// nothing) when a stall condition exists.
-    fn fire_cycle(&mut self, now: u64, scratch: &mut [Vec<Word>]) -> bool {
+    fn fire_cycle(&mut self, now: u64, scratch: &mut [Vec<Word>], tracer: &mut Tracer) -> bool {
         let mut firing = self.firing();
         firing.sort_unstable();
         for &(j, _) in &firing {
             self.ensure_ctx(j);
         }
-        if !self.check(&firing, now) {
+        if let Some((slot, reason)) = self.first_blocker(&firing, now) {
+            if tracer.enabled() {
+                tracer.emit(now, TraceEvent::KernelStall { slot, reason });
+            }
             return false;
         }
         let mut comm_busy = false;

@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 use isrf_core::config::{CrossLaneTopology, MachineConfig};
 use isrf_core::stats::SrfTraffic;
 use isrf_core::Word;
+use isrf_trace::{IdxRejectReason, TraceEvent, Tracer};
 
 use crate::srf::Srf;
 use crate::stream::StreamBinding;
@@ -279,7 +280,9 @@ pub fn topology_issue_budget(topology: CrossLaneTopology, lanes: usize) -> usize
 /// group. Cross-lane *issue* uses the dedicated index network and is never
 /// blocked by explicit communication; only the data *returns* contend for
 /// the shared network (see [`IdxState::tick_arrivals_budgeted`]). `rr` is
-/// a persistent round-robin pointer over streams.
+/// a persistent round-robin pointer over streams. Every access served and
+/// every rejected FIFO head is reported to `tracer` (budget exhaustion is
+/// not a rejection — the head was never considered).
 pub fn service_indexed(
     states: &mut [IdxState],
     srf: &mut Srf,
@@ -287,6 +290,7 @@ pub fn service_indexed(
     p: &IdxParams,
     rr: &mut usize,
     traffic: &mut SrfTraffic,
+    tracer: &mut Tracer,
 ) {
     let n_streams = states.len();
     if n_streams == 0 {
@@ -317,6 +321,17 @@ pub fn service_indexed(
             let head_word = st.lanes[lane].head_word;
             let is_read = st.kind == IdxKind::InLaneRead;
             if is_read && st.data_occupancy(lane) >= st.buf_cap {
+                if tracer.enabled() {
+                    tracer.emit(
+                        now,
+                        TraceEvent::IdxReject {
+                            stream: si as u8,
+                            lane: lane as u8,
+                            crosslane: false,
+                            reason: IdxRejectReason::DataBufferFull,
+                        },
+                    );
+                }
                 continue; // no room to land the data
             }
             let offset = st.inlane_offset(record, head_word);
@@ -327,6 +342,17 @@ pub fn service_indexed(
             }
             let sub = srf.subarray_of(offset.min(srf.bank_words() - 1));
             if busy[lane][sub] {
+                if tracer.enabled() {
+                    tracer.emit(
+                        now,
+                        TraceEvent::IdxReject {
+                            stream: si as u8,
+                            lane: lane as u8,
+                            crosslane: false,
+                            reason: IdxRejectReason::SubarrayConflict,
+                        },
+                    );
+                }
                 continue; // sub-array conflict: serialize (head-of-line)
             }
             busy[lane][sub] = true;
@@ -348,6 +374,22 @@ pub fn service_indexed(
             if l.head_word == st.binding.record_words {
                 l.head_word = 0;
                 l.addr_fifo.pop_front();
+            }
+            if tracer.enabled() {
+                let fifo_after = st.lanes[lane].addr_fifo.len() as u8;
+                tracer.emit(
+                    now,
+                    TraceEvent::IdxAccess {
+                        stream: si as u8,
+                        lane: lane as u8,
+                        bank: lane as u8,
+                        subarray: sub as u8,
+                        write: !is_read,
+                        crosslane: false,
+                        hops: 0,
+                        fifo_after,
+                    },
+                );
             }
         }
     }
@@ -374,15 +416,48 @@ pub fn service_indexed(
                     continue;
                 };
                 if st.data_occupancy(lane) >= st.buf_cap {
+                    if tracer.enabled() {
+                        tracer.emit(
+                            now,
+                            TraceEvent::IdxReject {
+                                stream: si as u8,
+                                lane: lane as u8,
+                                crosslane: true,
+                                reason: IdxRejectReason::DataBufferFull,
+                            },
+                        );
+                    }
                     continue;
                 }
                 let (bank, offset) =
                     st.crosslane_target(head.record, st.lanes[lane].head_word, p.lanes);
                 if bank_ports[bank] == 0 {
+                    if tracer.enabled() {
+                        tracer.emit(
+                            now,
+                            TraceEvent::IdxReject {
+                                stream: si as u8,
+                                lane: lane as u8,
+                                crosslane: true,
+                                reason: IdxRejectReason::BankPortBusy,
+                            },
+                        );
+                    }
                     continue; // bank's network ports exhausted this cycle
                 }
                 let sub = srf.subarray_of(offset.min(srf.bank_words() - 1));
                 if busy[bank][sub] {
+                    if tracer.enabled() {
+                        tracer.emit(
+                            now,
+                            TraceEvent::IdxReject {
+                                stream: si as u8,
+                                lane: lane as u8,
+                                crosslane: true,
+                                reason: IdxRejectReason::SubarrayConflict,
+                            },
+                        );
+                    }
                     continue; // sub-array conflict with another access
                 }
                 busy[bank][sub] = true;
@@ -400,6 +475,22 @@ pub fn service_indexed(
                 if l.head_word == st.binding.record_words {
                     l.head_word = 0;
                     l.addr_fifo.pop_front();
+                }
+                if tracer.enabled() {
+                    let fifo_after = st.lanes[lane].addr_fifo.len() as u8;
+                    tracer.emit(
+                        now,
+                        TraceEvent::IdxAccess {
+                            stream: si as u8,
+                            lane: lane as u8,
+                            bank: bank as u8,
+                            subarray: sub as u8,
+                            write: false,
+                            crosslane: true,
+                            hops: extra as u8,
+                            fifo_after,
+                        },
+                    );
                 }
             }
         }
@@ -443,7 +534,15 @@ mod tests {
             for s in states.iter_mut() {
                 s.tick_arrivals(now);
             }
-            service_indexed(states, srf, now, p, &mut rr, &mut traffic);
+            service_indexed(
+                states,
+                srf,
+                now,
+                p,
+                &mut rr,
+                &mut traffic,
+                &mut Tracer::Null,
+            );
         }
         for s in states.iter_mut() {
             s.tick_arrivals(from + cycles + 100);
@@ -458,7 +557,15 @@ mod tests {
         let mut states = [st];
         let mut traffic = SrfTraffic::default();
         let mut rr = 0;
-        service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            0,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.inlane_words, 1);
         states[0].tick_arrivals(3);
         assert!(!states[0].can_pop_data(0), "latency is 4");
@@ -507,9 +614,25 @@ mod tests {
         states[1].push_addr(0, 7);
         let mut traffic = SrfTraffic::default();
         let mut rr = 0;
-        service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            0,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.inlane_words, 1, "conflict: only one issues");
-        service_indexed(&mut states, &mut srf, 1, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            1,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(
             traffic.inlane_words, 2,
             "the delayed access issues next cycle"
@@ -531,7 +654,15 @@ mod tests {
         let p = IdxParams::from_machine(&m);
         let mut traffic = SrfTraffic::default();
         let mut rr = 0;
-        service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            0,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.inlane_words, 1, "ISRF1: one indexed word per lane");
     }
 
@@ -575,7 +706,15 @@ mod tests {
         // Never tick arrivals: in-flight + data accumulate to buf_cap = 8,
         // then issuing must stop.
         for now in 0..32 {
-            service_indexed(&mut states, &mut srf, now, &p, &mut rr, &mut traffic);
+            service_indexed(
+                &mut states,
+                &mut srf,
+                now,
+                &p,
+                &mut rr,
+                &mut traffic,
+                &mut Tracer::Null,
+            );
         }
         assert_eq!(traffic.inlane_words, 8);
     }
@@ -631,10 +770,26 @@ mod tests {
         let mut states = [st];
         let mut traffic = SrfTraffic::default();
         let mut rr = 0;
-        service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            0,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.crosslane_words, 1, "one port per bank per cycle");
         for now in 1..8 {
-            service_indexed(&mut states, &mut srf, now, &p, &mut rr, &mut traffic);
+            service_indexed(
+                &mut states,
+                &mut srf,
+                now,
+                &p,
+                &mut rr,
+                &mut traffic,
+                &mut Tracer::Null,
+            );
         }
         assert_eq!(traffic.crosslane_words, 8);
     }
@@ -654,7 +809,15 @@ mod tests {
         let mut rr = 0;
         // Issue proceeds even while explicit comm owns the data network:
         // the index network is dedicated.
-        service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            0,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.crosslane_words, 1);
         // The return waits for a free network slot: zero budget keeps the
         // data queued past its latency; one slot delivers it.
@@ -684,13 +847,29 @@ mod tests {
         let mut states = [inl, xl];
         let mut traffic = SrfTraffic::default();
         let mut rr = 0;
-        service_indexed(&mut states, &mut srf, 0, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            0,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.inlane_words, 1);
         assert_eq!(
             traffic.crosslane_words, 0,
             "cross-lane loses the sub-array to the in-lane access"
         );
-        service_indexed(&mut states, &mut srf, 1, &p, &mut rr, &mut traffic);
+        service_indexed(
+            &mut states,
+            &mut srf,
+            1,
+            &p,
+            &mut rr,
+            &mut traffic,
+            &mut Tracer::Null,
+        );
         assert_eq!(traffic.crosslane_words, 1);
     }
 }

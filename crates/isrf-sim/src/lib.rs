@@ -87,7 +87,7 @@ pub use exec::{KernelRun, Phase};
 pub use indexed::{
     service_indexed, topology_extra_latency, topology_issue_budget, IdxKind, IdxParams, IdxState,
 };
-pub use machine::{Machine, TraceEvent};
+pub use machine::Machine;
 pub use program::{ProgOp, ProgOpId, StreamProgram};
 pub use srf::{Srf, SrfRange};
 pub use stream::StreamBinding;

@@ -21,6 +21,7 @@ use isrf_core::config::{ConfigError, MachineConfig};
 use isrf_core::stats::RunStats;
 use isrf_core::Word;
 use isrf_mem::{MemorySystem, TransferId};
+use isrf_trace::{CycleAttr, TraceEvent, Tracer};
 
 use crate::exec::{KernelRun, Phase};
 
@@ -28,18 +29,6 @@ use crate::exec::{KernelRun, Phase};
 /// the data to land in the SRF at completion.
 type PendingTransfer = (TransferId, Option<(StreamBinding, Vec<Word>)>);
 
-/// One entry of the optional execution trace (see [`Machine::set_trace`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// A kernel was dispatched (program op index, kernel name).
-    KernelStart(usize, String),
-    /// A kernel finished, including its output drains.
-    KernelEnd(usize),
-    /// A memory transfer was issued (program op index, words).
-    MemStart(usize, u32),
-    /// A memory transfer completed (data usable).
-    MemEnd(usize),
-}
 use crate::program::{ProgOp, StreamProgram};
 use crate::srf::Srf;
 use crate::stream::StreamBinding;
@@ -56,8 +45,7 @@ pub struct Machine {
     stats: RunStats,
     /// Fractional SRF-port debt of memory transfers, in words.
     mem_port_words: f64,
-    trace_on: bool,
-    trace: Vec<(u64, TraceEvent)>,
+    tracer: Tracer,
 }
 
 impl Machine {
@@ -75,8 +63,7 @@ impl Machine {
             now: 0,
             stats: RunStats::default(),
             mem_port_words: 0.0,
-            trace_on: false,
-            trace: Vec::new(),
+            tracer: Tracer::Null,
             cfg,
         })
     }
@@ -116,27 +103,22 @@ impl Machine {
         &self.scratch
     }
 
-    /// Enable or disable execution tracing: with tracing on, every kernel
-    /// dispatch/completion and memory transfer start/end is recorded with
-    /// its cycle, for post-mortem inspection of overlap behaviour.
-    pub fn set_trace(&mut self, on: bool) {
-        self.trace_on = on;
+    /// Install a tracer and return the previous one. Pass
+    /// [`Tracer::recording`] to capture cycle-attributed events from every
+    /// subsequent [`Machine::run`]; pass [`Tracer::Null`] (the default) to
+    /// turn instrumentation back into a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer) -> Tracer {
+        std::mem::replace(&mut self.tracer, tracer)
     }
 
-    /// The recorded trace (cycle, event), in order.
-    pub fn trace(&self) -> &[(u64, TraceEvent)] {
-        &self.trace
+    /// The currently installed tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
-    /// Clear the recorded trace.
-    pub fn clear_trace(&mut self) {
-        self.trace.clear();
-    }
-
-    fn emit(&mut self, ev: TraceEvent) {
-        if self.trace_on {
-            self.trace.push((self.now, ev));
-        }
+    /// Remove the installed tracer, leaving [`Tracer::Null`] behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
     }
 
     /// Statistics accumulated across all [`Machine::run`] calls.
@@ -215,7 +197,18 @@ impl Machine {
                         cacheable,
                     } if deps_done(&done, i, program) => {
                         let (id, data) = self.mem.start_read(pattern.clone(), *cacheable);
-                        self.emit(TraceEvent::MemStart(i, data.len() as u32));
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::TransferStart {
+                                    op: i as u32,
+                                    id: id.raw(),
+                                    words: data.len() as u32,
+                                    write: false,
+                                    cacheable: *cacheable,
+                                },
+                            );
+                        }
                         running_mem.insert(i, (id, Some((*dst, data))));
                     }
                     ProgOp::Store {
@@ -234,7 +227,18 @@ impl Machine {
                             .collect();
                         let words = data.len() as u32;
                         let id = self.mem.start_write(pattern.clone(), &data, *cacheable);
-                        self.emit(TraceEvent::MemStart(i, words));
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::TransferStart {
+                                    op: i as u32,
+                                    id: id.raw(),
+                                    words,
+                                    write: true,
+                                    cacheable: *cacheable,
+                                },
+                            );
+                        }
                         running_mem.insert(i, (id, None));
                     }
                     ProgOp::GatherDyn {
@@ -255,7 +259,18 @@ impl Machine {
                         let (id, data) = self
                             .mem
                             .start_read(isrf_mem::AddrPattern::Indexed(addrs), *cacheable);
-                        self.emit(TraceEvent::MemStart(i, data.len() as u32));
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::TransferStart {
+                                    op: i as u32,
+                                    id: id.raw(),
+                                    words: data.len() as u32,
+                                    write: false,
+                                    cacheable: *cacheable,
+                                },
+                            );
+                        }
                         running_mem.insert(i, (id, Some((*dst, data))));
                     }
                     ProgOp::ScatterDyn {
@@ -288,7 +303,18 @@ impl Machine {
                             &data,
                             *cacheable,
                         );
-                        self.emit(TraceEvent::MemStart(i, words));
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::TransferStart {
+                                    op: i as u32,
+                                    id: id.raw(),
+                                    words,
+                                    write: true,
+                                    cacheable: *cacheable,
+                                },
+                            );
+                        }
                         running_mem.insert(i, (id, None));
                     }
                     _ => {}
@@ -310,7 +336,15 @@ impl Machine {
                     iters,
                 } = &program.nodes[kernel_cursor].op
                 {
-                    self.emit(TraceEvent::KernelStart(kernel_cursor, kernel.name.clone()));
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            self.now,
+                            TraceEvent::KernelStart {
+                                op: kernel_cursor as u32,
+                                name: kernel.name.as_str().into(),
+                            },
+                        );
+                    }
                     kernel_run = Some((
                         kernel_cursor,
                         KernelRun::new(
@@ -327,13 +361,16 @@ impl Machine {
 
             // ---- One machine cycle. ----
             self.now += 1;
-            self.mem.tick();
+            self.mem.tick_traced(&mut self.tracer);
             // Memory transfers consume the SRF port: one block grant per
             // N*m words moved.
             self.mem_port_words += self.mem.words_served_last_tick() as f64;
             let block = (self.cfg.lanes * self.cfg.srf.words_per_seq_access) as f64;
             let mem_claims_port = if self.mem_port_words >= block {
                 self.mem_port_words -= block;
+                if self.tracer.enabled() {
+                    self.tracer.emit(self.now, TraceEvent::PortPreempted);
+                }
                 true
             } else {
                 false
@@ -346,7 +383,7 @@ impl Machine {
                 .map(|(&i, _)| i)
                 .collect();
             for i in finished {
-                let (_, payload) = running_mem.remove(&i).expect("present");
+                let (id, payload) = running_mem.remove(&i).expect("present");
                 if let Some((dst, data)) = payload {
                     for (k, &v) in data.iter().enumerate() {
                         self.srf.write_stream_word(
@@ -359,7 +396,15 @@ impl Machine {
                 }
                 done[i] = true;
                 completed += 1;
-                self.emit(TraceEvent::MemEnd(i));
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        self.now,
+                        TraceEvent::TransferDone {
+                            op: i as u32,
+                            id: id.raw(),
+                        },
+                    );
+                }
             }
 
             // Advance the kernel (or attribute the idle cycle).
@@ -367,6 +412,10 @@ impl Machine {
                 if kernel_dispatch_left > 0 {
                     kernel_dispatch_left -= 1;
                     self.stats.breakdown.overhead += 1;
+                    if self.tracer.enabled() {
+                        self.tracer
+                            .emit(self.now, TraceEvent::Cycle(CycleAttr::Dispatch));
+                    }
                 } else {
                     let phase = run.tick(
                         self.now,
@@ -374,6 +423,7 @@ impl Machine {
                         &mut self.scratch,
                         mem_claims_port,
                         &mut self.stats.srf,
+                        &mut self.tracer,
                     );
                     match phase {
                         Phase::Advanced | Phase::Stalled => {
@@ -382,9 +432,21 @@ impl Machine {
                                 self.stats.breakdown.srf_stall += 1;
                             }
                             // Loop-body vs fill/drain is settled at kernel end.
+                            if self.tracer.enabled() {
+                                let attr = if phase == Phase::Stalled {
+                                    CycleAttr::SrfStall
+                                } else {
+                                    CycleAttr::Advance
+                                };
+                                self.tracer.emit(self.now, TraceEvent::Cycle(attr));
+                            }
                         }
                         Phase::Flushing => {
                             self.stats.breakdown.overhead += 1;
+                            if self.tracer.enabled() {
+                                self.tracer
+                                    .emit(self.now, TraceEvent::Cycle(CycleAttr::Flush));
+                            }
                         }
                         Phase::Done => {
                             // Attribute advanced cycles: body = iters*II,
@@ -393,20 +455,41 @@ impl Machine {
                             self.stats.breakdown.kernel_loop += body;
                             self.stats.breakdown.overhead += run.advance_cycles - body;
                             let i = *ki;
+                            if self.tracer.enabled() {
+                                self.tracer.emit(
+                                    self.now,
+                                    TraceEvent::KernelEnd {
+                                        op: i as u32,
+                                        body_cycles: run.body_cycles(),
+                                        advance_cycles: run.advance_cycles,
+                                        stall_cycles: run.stall_cycles,
+                                        flush_cycles: run.flush_cycles,
+                                    },
+                                );
+                                self.tracer
+                                    .emit(self.now, TraceEvent::Cycle(CycleAttr::KernelFinish));
+                            }
                             done[i] = true;
                             completed += 1;
                             kernel_run = None;
-                            self.emit(TraceEvent::KernelEnd(i));
                             self.stats.breakdown.overhead += 1; // this cycle
                         }
                     }
                 }
             } else if !running_mem.is_empty() {
                 self.stats.breakdown.mem_stall += 1;
+                if self.tracer.enabled() {
+                    self.tracer
+                        .emit(self.now, TraceEvent::Cycle(CycleAttr::MemStall));
+                }
             } else if completed < n {
                 // Waiting on nothing measurable (e.g. dependence chains of
                 // zero-length ops); attribute to overhead.
                 self.stats.breakdown.overhead += 1;
+                if self.tracer.enabled() {
+                    self.tracer
+                        .emit(self.now, TraceEvent::Cycle(CycleAttr::Idle));
+                }
             }
             self.stats.cycles += 1;
 
@@ -1049,38 +1132,56 @@ mod trace_tests {
         let k = Arc::new(b.build().unwrap());
         let s = schedule(&k, &SchedParams::from_machine(&cfg)).unwrap();
         let mut m = Machine::new(cfg).unwrap();
-        m.set_trace(true);
+        m.set_tracer(Tracer::recording(1 << 16));
         let a = m.alloc_stream(1, 64);
         let c = m.alloc_stream(1, 64);
         let mut p = StreamProgram::new();
         let l = p.load(AddrPattern::contiguous(0, 64), a, false, &[]);
         let kk = p.kernel(k, s, vec![a, c], 8, &[l]);
         p.store(c, AddrPattern::contiguous(0x1000, 64), false, &[kk]);
-        m.run(&p);
-        let trace = m.trace();
+        let stats = m.run(&p);
+        let rec = m.tracer().recorder().expect("recording");
+        let events: Vec<(u64, TraceEvent)> = rec.ring().iter().cloned().collect();
+        assert_eq!(rec.ring().dropped(), 0, "ring sized for the whole run");
         // Load starts before the kernel; the kernel ends before its store
         // completes; every event carries a monotone cycle.
-        let pos = |ev: &TraceEvent| trace.iter().position(|(_, e)| e == ev).unwrap();
-        assert!(pos(&TraceEvent::MemStart(0, 64)) < pos(&TraceEvent::KernelStart(1, "t".into())));
-        assert!(pos(&TraceEvent::MemEnd(0)) < pos(&TraceEvent::KernelEnd(1)));
-        assert!(pos(&TraceEvent::KernelEnd(1)) < pos(&TraceEvent::MemEnd(2)));
+        let pos =
+            |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().position(|(_, e)| pred(e)).unwrap();
+        let load_start = pos(&|e| matches!(e, TraceEvent::TransferStart { op: 0, .. }));
+        let kernel_start =
+            pos(&|e| matches!(e, TraceEvent::KernelStart { op: 1, name } if &**name == "t"));
+        let load_done = pos(&|e| matches!(e, TraceEvent::TransferDone { op: 0, .. }));
+        let kernel_end = pos(&|e| matches!(e, TraceEvent::KernelEnd { op: 1, .. }));
+        let store_done = pos(&|e| matches!(e, TraceEvent::TransferDone { op: 2, .. }));
+        assert!(load_start < kernel_start);
+        assert!(load_done < kernel_end);
+        assert!(kernel_end < store_done);
         assert!(
-            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            events.windows(2).all(|w| w[0].0 <= w[1].0),
             "cycles monotone"
         );
-        m.clear_trace();
-        assert!(m.trace().is_empty());
+        // Stall attribution audit: events reconstruct the Figure-12
+        // breakdown exactly.
+        let mismatches = rec.audit().verify(&stats.breakdown);
+        assert!(mismatches.is_empty(), "audit: {mismatches:?}");
     }
 
     #[test]
-    fn trace_off_by_default() {
+    fn tracer_off_by_default_and_removable() {
         let cfg = MachineConfig::preset(ConfigName::Base);
         let mut m = Machine::new(cfg).unwrap();
+        assert!(!m.tracer().enabled());
+        assert!(m.tracer().recorder().is_none());
         let a = m.alloc_stream(1, 8);
         let mut p = StreamProgram::new();
         p.load(AddrPattern::contiguous(0, 8), a, false, &[]);
         m.run(&p);
-        assert!(m.trace().is_empty());
+        // Install, run, then take the recorder back out.
+        m.set_tracer(Tracer::recording(256));
+        m.run(&p);
+        let rec = m.take_tracer().into_recorder().expect("was recording");
+        assert!(!rec.ring().is_empty());
+        assert!(!m.tracer().enabled(), "take leaves Null behind");
     }
 }
 

@@ -77,6 +77,11 @@ impl Srf {
         (offset / self.subarray_words) as usize
     }
 
+    /// Number of sub-arrays per bank.
+    pub fn subarrays(&self) -> usize {
+        (self.bank_words / self.subarray_words) as usize
+    }
+
     /// Allocate a range of `words_per_bank` words in every bank.
     ///
     /// # Panics

@@ -256,6 +256,13 @@ impl SeqInState {
     pub fn lane_done(&self, lane: usize) -> bool {
         self.cursors[lane].remaining == 0 && self.bufs[lane].is_empty()
     }
+
+    /// Words buffered for lane `l` (ready or still in their SRF access
+    /// latency) — distinguishes a starved buffer from one whose data is
+    /// merely in flight when attributing stalls.
+    pub fn buffered_words(&self, lane: usize) -> usize {
+        self.bufs[lane].len()
+    }
 }
 
 /// Sequential output stream state.
@@ -325,6 +332,11 @@ impl SeqOutState {
     /// True when all buffered output has been written to the SRF.
     pub fn drained(&self) -> bool {
         self.bufs.iter().all(|b| b.is_empty())
+    }
+
+    /// Words buffered by lane `l` awaiting a drain grant.
+    pub fn pending_words(&self, lane: usize) -> usize {
+        self.bufs[lane].len()
     }
 }
 

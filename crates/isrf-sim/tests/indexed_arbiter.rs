@@ -17,6 +17,7 @@ use isrf_core::Word;
 use isrf_sim::indexed::{service_indexed, IdxKind, IdxParams, IdxState};
 use isrf_sim::srf::Srf;
 use isrf_sim::stream::StreamBinding;
+use isrf_trace::Tracer;
 use proptest::prelude::*;
 
 const LANES: usize = 8;
@@ -154,7 +155,7 @@ proptest! {
             for s in states.iter_mut() {
                 s.tick_arrivals(now);
             }
-            service_indexed(&mut states, &mut srf, now, &p, &mut rr, &mut traffic);
+            service_indexed(&mut states, &mut srf, now, &p, &mut rr, &mut traffic, &mut Tracer::Null);
             for (s, lanes) in states.iter_mut().zip(popped.iter_mut()) {
                 for (lane, got) in lanes.iter_mut().enumerate() {
                     while s.can_pop_data(lane) {

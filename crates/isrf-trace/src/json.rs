@@ -1,0 +1,268 @@
+//! Minimal JSON helpers: string escaping for the hand-rolled emitters and
+//! a recursive-descent syntax validator for smoke tests.
+//!
+//! This is deliberately not a JSON library — the exporters build output by
+//! writing into a `String`, and the validator checks well-formedness only
+//! (no value model, no number parsing beyond shape).
+
+/// Append `s` to `out` with JSON string escaping applied (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` with JSON string escaping applied (no surrounding quotes).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// Validate that `s` is a single well-formed JSON value (syntax only).
+///
+/// Returns `Err((byte_offset, message))` on the first problem found.
+pub fn validate(s: &str) -> Result<(), (usize, &'static str)> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err((p.i, "trailing data after JSON value"));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8, msg: &'static str) -> Result<(), (usize, &'static str)> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err((self.i, msg))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), (usize, &'static str)> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err((self.i, "expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), (usize, &'static str)> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err((self.i, "malformed literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), (usize, &'static str)> {
+        self.expect(b'{', "expected '{'")?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err((self.i, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), (usize, &'static str)> {
+        self.expect(b'[', "expected '['")?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err((self.i, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), (usize, &'static str)> {
+        self.expect(b'"', "expected '\"'")?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or((self.i, "unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or((self.i, "short \\u escape"))?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err((self.i, "bad \\u escape digit"));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err((self.i - 1, "invalid escape character")),
+                    }
+                }
+                0x00..=0x1f => return Err((self.i - 1, "raw control character in string")),
+                _ => {}
+            }
+        }
+        Err((self.i, "unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), (usize, &'static str)> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err((self.i, "expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err((self.i, "expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err((self.i, "expected digits in exponent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslash_and_controls() {
+        assert_eq!(escaped(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escaped(r"a\b"), r"a\\b");
+        assert_eq!(escaped("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escaped("\u{01}"), "\\u0001");
+        assert_eq!(escaped("plain μ✓"), "plain μ✓");
+    }
+
+    #[test]
+    fn escaped_strings_validate() {
+        let tricky = "ker\"nel\\ name\nwith\u{02}controls";
+        let doc = format!("{{\"name\": \"{}\"}}", escaped(tricky));
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e+3",
+            r#"{"a": [1, 2, {"b": "cé"}], "d": false}"#,
+            "  [ 1 , 2 ]  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "1.",
+            "1e",
+            "[1] extra",
+            "{'single': 1}",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Plain-text timeline renderer: a terminal-width strip chart of the
+//! recorded event window, for quick looks without leaving the shell.
+//!
+//! Two rows are rendered over the window's cycle range, split into
+//! `width` equal buckets:
+//!
+//! - `kernel`: the dominant Figure-12 attribution of each bucket, one
+//!   glyph per bucket (`D` dispatch, `=` advance, `s` SRF stall, `m` mem
+//!   stall, `f` flush, `K` kernel finish, `.` idle, space = no cycles
+//!   recorded in the bucket).
+//! - `memory`: `#` where at least one memory transfer is in flight,
+//!   `-` otherwise.
+
+use crate::event::{CycleAttr, TraceEvent};
+
+fn glyph(a: CycleAttr) -> char {
+    match a {
+        CycleAttr::Dispatch => 'D',
+        CycleAttr::Advance => '=',
+        CycleAttr::SrfStall => 's',
+        CycleAttr::MemStall => 'm',
+        CycleAttr::Flush => 'f',
+        CycleAttr::KernelFinish => 'K',
+        CycleAttr::Idle => '.',
+    }
+}
+
+/// Render the stamped event stream as a multi-line text timeline of
+/// `width` columns (clamped to at least 8). Returns an empty string for
+/// an empty stream.
+pub fn render<'a, I>(events: I, width: usize) -> String
+where
+    I: IntoIterator<Item = &'a (u64, TraceEvent)>,
+{
+    let events: Vec<&(u64, TraceEvent)> = events.into_iter().collect();
+    if events.is_empty() {
+        return String::new();
+    }
+    let width = width.max(8);
+    let lo = events.iter().map(|(c, _)| *c).min().unwrap();
+    let hi = events.iter().map(|(c, _)| *c).max().unwrap();
+    let span = (hi - lo + 1).max(1);
+    let bucket_of = |cycle: u64| (((cycle - lo) * width as u64) / span) as usize;
+
+    let mut attr_counts = vec![[0u64; CycleAttr::COUNT]; width];
+    let mut mem_active = vec![false; width];
+    let mut in_flight: u64 = 0;
+    let mut last_bucket = 0usize;
+    for (cycle, ev) in &events {
+        let b = bucket_of(*cycle).min(width - 1);
+        if in_flight > 0 {
+            for slot in mem_active.iter_mut().take(b + 1).skip(last_bucket) {
+                *slot = true;
+            }
+        }
+        last_bucket = b;
+        match ev {
+            TraceEvent::Cycle(a) => attr_counts[b][a.index()] += 1,
+            TraceEvent::TransferStart { .. } => {
+                in_flight += 1;
+                mem_active[b] = true;
+            }
+            TraceEvent::TransferDone { .. } => {
+                mem_active[b] = true;
+                in_flight = in_flight.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+
+    let kernel_row: String = attr_counts
+        .iter()
+        .map(|counts| {
+            CycleAttr::ALL
+                .iter()
+                .max_by_key(|a| counts[a.index()])
+                .filter(|a| counts[a.index()] > 0)
+                .map_or(' ', |a| glyph(*a))
+        })
+        .collect();
+    let mem_row: String = mem_active
+        .iter()
+        .map(|&m| if m { '#' } else { '-' })
+        .collect();
+
+    format!(
+        "cycles {lo}..{hi} ({span} cycles, {:.1} per column)\n\
+         kernel |{kernel_row}|\n\
+         memory |{mem_row}|\n\
+         legend: D dispatch, = advance, s srf-stall, m mem-stall, f flush, K finish, . idle, # mem busy\n",
+        span as f64 / width as f64
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_renders_empty() {
+        assert_eq!(render([].iter(), 40), "");
+    }
+
+    #[test]
+    fn dominant_attribution_and_mem_activity_show_up() {
+        let mut events = Vec::new();
+        events.push((
+            0,
+            TraceEvent::TransferStart {
+                op: 0,
+                id: 1,
+                words: 8,
+                write: false,
+                cacheable: false,
+            },
+        ));
+        for c in 0..32u64 {
+            events.push((c, TraceEvent::Cycle(CycleAttr::MemStall)));
+        }
+        events.push((32, TraceEvent::TransferDone { op: 0, id: 1 }));
+        for c in 33..64u64 {
+            events.push((c, TraceEvent::Cycle(CycleAttr::Advance)));
+        }
+        let out = render(events.iter(), 16);
+        assert!(out.contains("cycles 0..63"));
+        let kernel = out.lines().nth(1).unwrap();
+        let memory = out.lines().nth(2).unwrap();
+        assert!(kernel.contains('m') && kernel.contains('='));
+        // Memory is busy in the first half, idle in the second.
+        assert!(memory.contains('#') && memory.contains('-'));
+        assert!(memory.find('#').unwrap() < memory.find('-').unwrap());
+    }
+}

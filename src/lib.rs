@@ -8,6 +8,8 @@
 //! * [`mem`] — DRAM, vector cache and the stream memory controller,
 //! * [`kernel`] — the kernel IR and modulo scheduler,
 //! * [`sim`] — the cycle-level stream-processor simulator,
+//! * [`trace`] — cycle-attributed instrumentation, metrics and Chrome
+//!   trace export,
 //! * [`apps`] — the paper's benchmarks and microbenchmarks,
 //! * [`lang`] — the KernelC-subset front-end (Section 4.7).
 //!
@@ -23,3 +25,4 @@ pub use isrf_lang as lang;
 pub use isrf_mem as mem;
 pub use isrf_sim as sim;
 pub use isrf_sram as sram;
+pub use isrf_trace as trace;

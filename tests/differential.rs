@@ -67,13 +67,19 @@ fn prepare(app: &str, cfg: ConfigName) -> Prepared {
 
 fn diff_point(app: &str, cfg: ConfigName) -> DiffOutcome {
     let mut pr = prepare(app, cfg);
-    run_differential(&mut pr.machine, &pr.program, &pr.outputs).unwrap_or_else(|errs| {
-        let shown: Vec<String> = errs.iter().take(8).map(|e| e.to_string()).collect();
+    run_differential(&mut pr.machine, &pr.program, &pr.outputs).unwrap_or_else(|failure| {
+        let shown: Vec<String> = failure
+            .errors
+            .iter()
+            .take(8)
+            .map(|e| e.to_string())
+            .collect();
         panic!(
             "{app} on {cfg:?} diverged from the reference executor \
-             ({} mismatches):\n  {}",
-            errs.len(),
-            shown.join("\n  ")
+             ({} mismatches):\n  {}\nlast trace events:\n{}",
+            failure.errors.len(),
+            shown.join("\n  "),
+            failure.trace_tail.join("\n")
         )
     })
 }
