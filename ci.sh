@@ -1,7 +1,21 @@
 #!/usr/bin/env bash
 # Full CI gate: build, test, formatting, lints. Run from the repo root.
+#
+#   ./ci.sh           tier-1 gate only
+#   ./ci.sh --check   tier-1 gate, then the perf basket in regression-check
+#                     mode: fails if simulator throughput drops >15% below
+#                     the committed results/BENCH_perf.json baseline (see
+#                     EXPERIMENTS.md, "Performance"). The fresh measurement
+#                     is written to results/BENCH_perf.current.json as the
+#                     run's trajectory artifact; the committed baseline is
+#                     never overwritten.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+perf_check=0
+if [[ "${1:-}" == "--check" ]]; then
+  perf_check=1
+fi
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -34,5 +48,11 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   || node -e "JSON.parse(require('fs').readFileSync(process.argv[1]))" \
     "$smoke_dir/sort_isrf4.trace.json" 2>/dev/null \
   || { echo "no python3/node for JSON check; relying on built-in validator"; }
+
+if [[ "$perf_check" == 1 ]]; then
+  echo "==> perf basket (--check against committed baseline)"
+  ./target/release/perf --check results/BENCH_perf.json \
+    --out results/BENCH_perf.current.json --runs 3
+fi
 
 echo "CI OK"

@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
                 cfg.dram.burst_words = *burst;
                 let mut sys = MemorySystem::new(&cfg);
                 let addrs: Vec<u32> = (0..512u32).map(|k| (k * 97) % 4096 * 16).collect();
-                let (id, _) = sys.start_read(AddrPattern::Indexed(addrs), false);
+                let (id, _) = sys.start_read(&AddrPattern::Indexed(addrs), false);
                 while !sys.is_complete(id) {
                     sys.tick();
                 }

@@ -1,0 +1,24 @@
+//! End-to-end sweep throughput: the full Figure 12 grid (8 benchmarks ×
+//! 4 configurations, simulated in parallel) per iteration — the number
+//! the ROADMAP's "sweep far bigger spaces" goal lives or dies by. The
+//! same workload is the `perf` binary's `sweep_throughput` JSON entry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrf_bench::{fig12, Profile};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.sample_size(10);
+    g.bench_function("fig12_grid_small", |b| b.iter(|| fig12(Profile::Small)));
+    g.finish();
+
+    let rows = fig12(Profile::Small);
+    let cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    println!(
+        "\nsweep_throughput: {cycles} total cycles across {} points",
+        rows.len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

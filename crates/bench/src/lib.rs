@@ -18,6 +18,8 @@ use isrf_kernel::ir::Kernel;
 use isrf_kernel::sched::{schedule, SchedParams};
 use isrf_sram::{AreaModel, EnergyModel, SrfGeometry, SrfVariant};
 
+pub mod perf;
+
 /// The application benchmarks of Section 5.2, in the paper's figure order.
 pub const BENCHMARKS: [&str; 8] = [
     "FFT 2D", "Rijndael", "Sort", "Filter", "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL",

@@ -176,10 +176,19 @@ fn res_mii(kernel: &Kernel, params: &SchedParams) -> u32 {
 /// (II infeasible for the recurrences).
 fn heights(graph: &DepGraph, ii: u32) -> Option<Vec<i64>> {
     let n = graph.n;
+    // Relax edges by descending `from`: ops are stored topologically, so a
+    // node's successors (larger indices, for loop-independent edges) settle
+    // before the node itself and the fixed point is reached in a couple of
+    // rounds instead of O(dependence depth). The fixed point is unique, so
+    // relaxation order never changes the result — only how fast the round
+    // loop exits. The `n`-round cap still detects positive cycles.
+    let mut order: Vec<u32> = (0..graph.edges.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| std::cmp::Reverse(graph.edges[i as usize].from));
     let mut h = vec![0i64; n];
     for round in 0..=n {
         let mut changed = false;
-        for e in &graph.edges {
+        for &i in &order {
+            let e = &graph.edges[i as usize];
             let w = e.latency as i64 - (ii as i64) * e.distance as i64;
             if h[e.to] + w > h[e.from] {
                 h[e.from] = h[e.to] + w;
@@ -196,18 +205,58 @@ fn heights(graph: &DepGraph, ii: u32) -> Option<Vec<i64>> {
     Some(h)
 }
 
+/// Dense index of a [`Resource`] into the MRT's flat row array: the four
+/// singleton resources first, then the per-slot stream data/address ports
+/// interleaved.
+fn res_index(r: Resource) -> usize {
+    match r {
+        Resource::Alu => 0,
+        Resource::Divider => 1,
+        Resource::Comm => 2,
+        Resource::Scratch => 3,
+        Resource::StreamPort(n) => 4 + 2 * n as usize,
+        Resource::AddrPort(n) => 5 + 2 * n as usize,
+    }
+}
+
 struct Mrt {
     ii: u32,
-    /// `(resource, modulo slot) -> ops occupying it`.
-    table: std::collections::HashMap<(Resource, u32), Vec<usize>>,
+    /// Ops occupying each `(resource, modulo slot)`, flat-indexed as
+    /// `res_index * ii + slot`.
+    rows: Vec<Vec<usize>>,
+    /// `rows[i].len()` mirrored as a plain array so the scheduling loop's
+    /// slot probe is one load, no hashing or allocation.
+    counts: Vec<u32>,
 }
 
 impl Mrt {
-    fn new(ii: u32) -> Self {
+    fn new(ii: u32, n_resources: usize) -> Self {
+        let cells = n_resources * ii as usize;
         Mrt {
             ii,
-            table: std::collections::HashMap::new(),
+            rows: vec![Vec::new(); cells],
+            counts: vec![0; cells],
         }
+    }
+
+    /// True when every modulo slot `op` would occupy at `t` still has
+    /// capacity. Only valid while `op` itself is unplaced (the caller's
+    /// invariant), which makes this exactly `conflicts(..).is_empty()`.
+    fn is_free(
+        &self,
+        class: OpClass,
+        latency: u32,
+        t: u32,
+        capacity: impl Fn(Resource) -> u32,
+    ) -> bool {
+        let Some(r) = resource_of(class) else {
+            return true;
+        };
+        let cap = capacity(r);
+        let base = res_index(r) * self.ii as usize;
+        Self::occupancy(latency, class, t, self.ii)
+            .into_iter()
+            .all(|slot| self.counts[base + slot as usize] < cap)
     }
 
     /// The modulo slots `op` would occupy when issued at `t`.
@@ -232,14 +281,14 @@ impl Mrt {
             return vec![];
         };
         let cap = capacity(r) as usize;
+        let base = res_index(r) * self.ii as usize;
         let mut out = Vec::new();
         for slot in Self::occupancy(latency, class, t, self.ii) {
-            if let Some(users) = self.table.get(&(r, slot)) {
-                let users: Vec<usize> = users.iter().copied().filter(|&u| u != op).collect();
-                if users.len() >= cap {
-                    // Evicting the earliest-placed user frees the slot.
-                    out.extend(users.iter().take(users.len() + 1 - cap));
-                }
+            let users = &self.rows[base + slot as usize];
+            let users: Vec<usize> = users.iter().copied().filter(|&u| u != op).collect();
+            if users.len() >= cap {
+                // Evicting the earliest-placed user frees the slot.
+                out.extend(users.iter().take(users.len() + 1 - cap));
             }
         }
         out.sort_unstable();
@@ -249,19 +298,22 @@ impl Mrt {
 
     fn place(&mut self, op: usize, class: OpClass, latency: u32, t: u32) {
         if let Some(r) = resource_of(class) {
+            let base = res_index(r) * self.ii as usize;
             for slot in Self::occupancy(latency, class, t, self.ii) {
-                self.table.entry((r, slot)).or_default().push(op);
+                self.rows[base + slot as usize].push(op);
+                self.counts[base + slot as usize] += 1;
             }
         }
     }
 
     fn remove(&mut self, op: usize, class: OpClass, latency: u32, t: u32) {
         if let Some(r) = resource_of(class) {
+            let base = res_index(r) * self.ii as usize;
             for slot in Self::occupancy(latency, class, t, self.ii) {
-                if let Some(v) = self.table.get_mut(&(r, slot)) {
-                    if let Some(pos) = v.iter().position(|&u| u == op) {
-                        v.swap_remove(pos);
-                    }
+                let v = &mut self.rows[base + slot as usize];
+                if let Some(pos) = v.iter().position(|&u| u == op) {
+                    v.swap_remove(pos);
+                    self.counts[base + slot as usize] -= 1;
                 }
             }
         }
@@ -345,19 +397,25 @@ fn attempt(
     let class = |i: usize| kernel.ops[i].opcode.class();
     // Edge latency: IdxRead pairing edges carry the separation, so compute
     // effective edge latency from the graph (already encoded there).
-    let mut mrt = Mrt::new(ii);
+    let n_resources = 4 + 2 * kernel.streams.len();
+    let mut mrt = Mrt::new(ii, n_resources);
     let mut slot: Vec<Option<u32>> = vec![None; n];
     let mut prev_slot: Vec<Option<u32>> = vec![None; n];
     let mut budget = 20 * n as i64 + 200;
 
-    // Priority: height, then original index for determinism.
-    let pick = |slot: &[Option<u32>]| -> Option<usize> {
-        (0..n)
-            .filter(|&i| slot[i].is_none())
-            .max_by_key(|&i| (heights[i], std::cmp::Reverse(i)))
-    };
+    // Priority: height, then original index for determinism. The work list
+    // is a lazy max-heap over that static key: popped entries whose op was
+    // scheduled in the meantime are discarded, and evicted ops are pushed
+    // back, so every unscheduled op always has a live entry and each pop
+    // yields exactly the op a full `max_by_key` scan would.
+    let mut work: std::collections::BinaryHeap<(i64, std::cmp::Reverse<usize>)> =
+        (0..n).map(|i| (heights[i], std::cmp::Reverse(i))).collect();
+    let mut evict: Vec<usize> = Vec::new();
 
-    while let Some(op) = pick(&slot) {
+    while let Some((_, std::cmp::Reverse(op))) = work.pop() {
+        if slot[op].is_some() {
+            continue; // stale entry: scheduled since it was pushed
+        }
         budget -= 1;
         if budget < 0 {
             return None;
@@ -371,16 +429,34 @@ fn attempt(
             }
         }
         let estart = estart.max(0) as u32;
+        // Latest start satisfying the already-scheduled successors, and
+        // self-edge feasibility (t-independent). Together these are the
+        // `succs_ok` check, hoisted out of the per-candidate loop; the
+        // predecessor half of `succs_ok` is implied by `t >= estart`.
+        let mut tmax = i64::MAX;
+        let mut self_ok = true;
+        for e in graph.succs(op) {
+            if e.to == op {
+                if (ii as i64) * (e.distance as i64) < e.latency as i64 {
+                    self_ok = false;
+                }
+                continue;
+            }
+            if let Some(s) = slot[e.to] {
+                tmax = tmax.min(s as i64 + (ii as i64) * (e.distance as i64) - e.latency as i64);
+            }
+        }
         // Find a conflict-free slot in [estart, estart + ii).
         let mut chosen = None;
-        for t in estart..estart + ii {
-            if mrt
-                .conflicts(op, class(op), lat(op), t, capacity)
-                .is_empty()
-                && succs_ok(graph, &slot, op, t, ii)
-            {
-                chosen = Some((t, false));
-                break;
+        if self_ok {
+            for t in estart..estart + ii {
+                if i64::from(t) > tmax {
+                    break;
+                }
+                if mrt.is_free(class(op), lat(op), t, capacity) {
+                    chosen = Some((t, false));
+                    break;
+                }
             }
         }
         let (t, forced) = chosen.unwrap_or_else(|| {
@@ -392,6 +468,7 @@ fn attempt(
             for victim in mrt.conflicts(op, class(op), lat(op), t, capacity) {
                 if let Some(vs) = slot[victim].take() {
                     mrt.remove(victim, class(victim), lat(victim), vs);
+                    work.push((heights[victim], std::cmp::Reverse(victim)));
                 }
             }
         }
@@ -399,28 +476,33 @@ fn attempt(
         slot[op] = Some(t);
         prev_slot[op] = Some(t);
         // Evict scheduled ops whose constraints this placement violates.
-        for e in graph.succs(op).cloned().collect::<Vec<_>>() {
+        evict.clear();
+        for e in graph.succs(op) {
             if e.to == op {
                 continue;
             }
             if let Some(s) = slot[e.to] {
                 let need = t as i64 + e.latency as i64 - (ii as i64) * e.distance as i64;
                 if (s as i64) < need {
-                    slot[e.to] = None;
-                    mrt.remove(e.to, class(e.to), lat(e.to), s);
+                    evict.push(e.to);
                 }
             }
         }
-        for e in graph.preds(op).cloned().collect::<Vec<_>>() {
+        for e in graph.preds(op) {
             if e.from == op {
                 continue;
             }
             if let Some(s) = slot[e.from] {
                 let need = s as i64 + e.latency as i64 - (ii as i64) * e.distance as i64;
                 if (t as i64) < need {
-                    slot[e.from] = None;
-                    mrt.remove(e.from, class(e.from), lat(e.from), s);
+                    evict.push(e.from);
                 }
+            }
+        }
+        for &v in &evict {
+            if let Some(s) = slot[v].take() {
+                mrt.remove(v, class(v), lat(v), s);
+                work.push((heights[v], std::cmp::Reverse(v)));
             }
         }
     }
@@ -434,35 +516,6 @@ fn attempt(
         }
     }
     Some(slot.into_iter().map(|s| s.unwrap()).collect())
-}
-
-fn succs_ok(graph: &DepGraph, slot: &[Option<u32>], op: usize, t: u32, ii: u32) -> bool {
-    for e in graph.succs(op) {
-        if e.to == op {
-            // Self edge: t + ii*dist >= t + latency.
-            if (ii as i64) * (e.distance as i64) < e.latency as i64 {
-                return false;
-            }
-            continue;
-        }
-        if let Some(s) = slot[e.to] {
-            if (s as i64) + (ii as i64) * (e.distance as i64) < t as i64 + e.latency as i64 {
-                return false;
-            }
-        }
-    }
-    for e in graph.preds(op) {
-        if e.from == op {
-            continue;
-        }
-        if let Some(s) = slot[e.from] {
-            let need = s as i64 + e.latency as i64 - (ii as i64) * e.distance as i64;
-            if (t as i64) < need {
-                return false;
-            }
-        }
-    }
-    true
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! let m = MachineConfig::preset(ConfigName::Base);
 //! let mut mem = MemorySystem::new(&m);
 //! mem.memory_mut().write_block(0, &[1, 2, 3, 4]);
-//! let (id, data) = mem.start_read(AddrPattern::contiguous(0, 4), false);
+//! let (id, data) = mem.start_read(&AddrPattern::contiguous(0, 4), false);
 //! assert_eq!(data, [1, 2, 3, 4]);
 //! while !mem.is_complete(id) {
 //!     mem.tick();

@@ -30,7 +30,7 @@ proptest! {
         for (i, &a) in addrs.iter().enumerate() {
             sys.memory_mut().write(a, i as u32 ^ 0xABCD);
         }
-        let (id, data) = sys.start_read(AddrPattern::Indexed(addrs.clone()), false);
+        let (id, data) = sys.start_read(&AddrPattern::Indexed(addrs.clone()), false);
         // Functional: last write to each address wins.
         for (i, &a) in addrs.iter().enumerate() {
             let last = addrs.iter().rposition(|&x| x == a).unwrap();
@@ -53,9 +53,9 @@ proptest! {
         let mut sys = MemorySystem::new(&cfg);
         let n = data.len() as u32;
         let addrs: Vec<u32> = (0..n).map(|i| base + i * 3).collect();
-        let w = sys.start_write(AddrPattern::Indexed(addrs.clone()), &data, false);
+        let w = sys.start_write(&AddrPattern::Indexed(addrs.clone()), &data, false);
         finish(&mut sys, w);
-        let (r, got) = sys.start_read(AddrPattern::Indexed(addrs), false);
+        let (r, got) = sys.start_read(&AddrPattern::Indexed(addrs), false);
         prop_assert_eq!(got, data);
         finish(&mut sys, r);
         prop_assert_eq!(sys.traffic().bytes_written, n as u64 * 4);
@@ -71,12 +71,100 @@ proptest! {
         let cfg = MachineConfig::preset(ConfigName::Cache);
         let mut sys = MemorySystem::new(&cfg);
         for _ in 0..passes {
-            let (id, _) = sys.start_read(AddrPattern::contiguous(0, words), true);
+            let (id, _) = sys.start_read(&AddrPattern::contiguous(0, words), true);
             finish(&mut sys, id);
         }
         let line = cfg.cache.as_ref().unwrap().line_words as u64;
         let lines = (words as u64).div_ceil(line);
         prop_assert_eq!(sys.traffic().bytes_read, lines * line * 4);
         prop_assert!(sys.cache().unwrap().hits() > 0);
+    }
+
+    /// Transfer-slab lifecycle over a random batch of transfers:
+    /// sequential raw ids, deterministic (completion-time, id) pop order,
+    /// full drain at program end, and slot reuse only after retirement.
+    #[test]
+    fn slab_id_reuse_completion_order_and_drain(
+        lens in prop::collection::vec(0u32..400, 1..24),
+        pop_each_cycle in any::<bool>(),
+    ) {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let mut sys = MemorySystem::new(&cfg);
+        let mut live: Vec<isrf_mem::TransferId> = Vec::new();
+        let mut popped: Vec<isrf_mem::TransferId> = Vec::new();
+        let mut max_slot = 0usize;
+        for (i, &len) in lens.iter().enumerate() {
+            let (id, data) = sys.start_read(&AddrPattern::contiguous(i as u32 * 512, len), false);
+            prop_assert_eq!(id.raw(), i as u64, "raw ids are sequential");
+            prop_assert_eq!(data.len(), len as usize);
+            // A live slot is never handed to two transfers at once.
+            for l in &live {
+                prop_assert_ne!(l.slot(), id.slot(), "slot reused while live");
+            }
+            live.push(id);
+            max_slot = max_slot.max(id.slot());
+            // Interleave some service so early transfers retire and donate
+            // their slots to later ones.
+            for _ in 0..150 {
+                sys.tick();
+                if pop_each_cycle {
+                    while let Some(done) = sys.pop_ready() {
+                        live.retain(|l| l != &done);
+                        popped.push(done);
+                    }
+                }
+            }
+        }
+        // Program end: run the channel dry and drain every completion.
+        let mut guard = 0;
+        while sys.busy() {
+            sys.tick();
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "memory system never went idle");
+        }
+        sys.tick(); // transfers completing exactly at the last busy cycle
+        while let Some(done) = sys.pop_ready() {
+            live.retain(|l| l != &done);
+            popped.push(done);
+        }
+        prop_assert!(live.is_empty(), "drain left transfers unpopped: {live:?}");
+        prop_assert_eq!(popped.len(), lens.len());
+        prop_assert!(sys.pop_ready().is_none());
+        prop_assert!(sys.next_completion_time().is_none());
+        // Every popped id reads complete forever, even after slot reuse.
+        for id in &popped {
+            prop_assert!(sys.is_complete(*id));
+        }
+        // Slot reuse actually happened whenever transfers outnumbered the
+        // peak number of concurrently live ones.
+        prop_assert!(max_slot < lens.len());
+    }
+
+    /// Popping mid-flight never reorders completions: ids always come out
+    /// sorted by the cycle their data became usable, ties by issue order.
+    #[test]
+    fn pop_order_is_completion_then_issue(
+        lens in prop::collection::vec(0u32..120, 2..12),
+    ) {
+        let cfg = MachineConfig::preset(ConfigName::Base);
+        let mut sys = MemorySystem::new(&cfg);
+        let ids: Vec<_> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| sys.start_read(&AddrPattern::contiguous(i as u32 * 256, len), false).0)
+            .collect();
+        let mut order: Vec<(u64, u64)> = Vec::new(); // (pop cycle, raw id)
+        let mut guard = 0;
+        while order.len() < ids.len() {
+            sys.tick();
+            while let Some(done) = sys.pop_ready() {
+                order.push((sys.now(), done.raw()));
+            }
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "transfers stuck");
+        }
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(&order, &sorted, "pops left (cycle, id) order");
     }
 }

@@ -49,6 +49,22 @@ enum SlotState {
     Idx(usize),
 }
 
+/// Reusable buffers for the kernel hot loop, owned by the machine and
+/// threaded through [`KernelRun::tick`] so back-to-back kernel
+/// invocations (and every cycle within one) recycle their allocations
+/// instead of growing fresh `Vec`s.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// `(iteration, op)` pairs firing this cycle.
+    firing: Vec<(u64, usize)>,
+    /// Per-lane results of the op being committed.
+    vals: Vec<Word>,
+    /// Retired iteration contexts awaiting reuse (re-zeroed on reissue).
+    ctx_pool: Vec<Vec<Word>>,
+    /// Stage-1 arbitration requester list.
+    requesters: Vec<usize>,
+}
+
 /// What a [`KernelRun::tick`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -66,7 +82,7 @@ pub enum Phase {
 #[derive(Debug)]
 pub struct KernelRun {
     kernel: Arc<Kernel>,
-    sched: Schedule,
+    sched: Arc<Schedule>,
     iters: u64,
     lanes: usize,
     m_words: usize,
@@ -110,8 +126,8 @@ impl KernelRun {
     pub fn new(
         cfg: &MachineConfig,
         kernel: Arc<Kernel>,
-        sched: Schedule,
-        bindings: Vec<StreamBinding>,
+        sched: Arc<Schedule>,
+        bindings: &[StreamBinding],
         iters: u64,
     ) -> Self {
         assert_eq!(
@@ -126,7 +142,7 @@ impl KernelRun {
         let cap = cfg.srf.stream_buffer_words;
         let mut slots = Vec::new();
         let mut idx_states = Vec::new();
-        for (decl, b) in kernel.streams.iter().zip(&bindings) {
+        for (decl, b) in kernel.streams.iter().zip(bindings) {
             let state = match decl.kind {
                 StreamKind::SeqIn => SlotState::SeqIn(SeqInState::new(*b, lanes, cap)),
                 StreamKind::SeqOut => SlotState::SeqOut(SeqOutState::new(*b, lanes, cap)),
@@ -231,12 +247,15 @@ impl KernelRun {
     }
 
     /// Advance one machine cycle at time `now`. `scratch` is the machine's
-    /// persistent per-lane scratchpad storage.
+    /// persistent per-lane scratchpad storage; `es` holds the reusable
+    /// hot-loop buffers shared across kernel invocations.
+    #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
         now: u64,
         srf: &mut Srf,
         scratch: &mut [Vec<Word>],
+        es: &mut ExecScratch,
         mem_claims_port: bool,
         traffic: &mut SrfTraffic,
         tracer: &mut Tracer,
@@ -257,7 +276,7 @@ impl KernelRun {
             }
         }
         if !mem_claims_port {
-            self.arbitration(now, srf, traffic, tracer);
+            self.arbitration(now, srf, traffic, tracer, &mut es.requesters);
         }
         if self.exec_done() {
             if self.is_done() {
@@ -266,7 +285,7 @@ impl KernelRun {
             self.flush_cycles += 1;
             return Phase::Flushing;
         }
-        let advanced = self.fire_cycle(now, scratch, tracer);
+        let advanced = self.fire_cycle(now, scratch, es, tracer);
         if advanced {
             self.t += 1;
             self.advance_cycles += 1;
@@ -292,11 +311,12 @@ impl KernelRun {
         srf: &mut Srf,
         traffic: &mut SrfTraffic,
         tracer: &mut Tracer,
+        requesters: &mut Vec<usize>,
     ) {
         let flush = self.exec_done();
         let block = self.lanes * self.m_words;
         let idx_group = self.slots.len();
-        let mut requesters: Vec<usize> = Vec::new();
+        requesters.clear();
         for (i, s) in self.slots.iter().enumerate() {
             let wants = match s {
                 SlotState::SeqIn(st) | SlotState::CondLaneIn(st) => st.wants_grant(),
@@ -357,14 +377,15 @@ impl KernelRun {
         }
     }
 
-    /// The `(iteration, op)` pairs scheduled for kernel cycle `t`.
-    fn firing(&self) -> Vec<(u64, usize)> {
+    /// Collect the `(iteration, op)` pairs scheduled for kernel cycle `t`
+    /// into `out` (cleared first).
+    fn fill_firing(&self, out: &mut Vec<(u64, usize)>) {
+        out.clear();
         let ii = self.sched.ii as u64;
         let span = self.sched.span as u64;
         let t = self.t;
         let j_hi = (t / ii).min(self.iters.saturating_sub(1));
         let j_lo = if t >= span { (t - span) / ii + 1 } else { 0 };
-        let mut out = Vec::new();
         for j in j_lo..=j_hi {
             let slot = t - j * ii;
             if slot < span {
@@ -373,13 +394,17 @@ impl KernelRun {
                 }
             }
         }
-        out
     }
 
-    fn ensure_ctx(&mut self, j: u64) {
+    fn ensure_ctx(&mut self, j: u64, pool: &mut Vec<Vec<Word>>) {
+        let ctx_words = self.kernel.ops.len() * self.lanes;
         while self.ctx_base + (self.ctxs.len() as u64) <= j {
-            self.ctxs
-                .push_back(vec![0; self.kernel.ops.len() * self.lanes]);
+            // Recycled buffers must be re-zeroed: `resolve` reads slots of
+            // ops that never committed a value as 0.
+            let mut buf = pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.resize(ctx_words, 0);
+            self.ctxs.push_back(buf);
         }
         // Retire contexts no active iteration can still reference.
         let ii = self.sched.ii as u64;
@@ -391,7 +416,7 @@ impl KernelRun {
         };
         let keep_from = oldest_active.saturating_sub(self.max_dist as u64 + 1);
         while self.ctx_base < keep_from && self.ctxs.len() > 1 {
-            self.ctxs.pop_front();
+            pool.push(self.ctxs.pop_front().expect("checked non-empty"));
             self.ctx_base += 1;
         }
     }
@@ -519,28 +544,44 @@ impl KernelRun {
 
     /// Fire all ops of this kernel cycle; returns false (and changes
     /// nothing) when a stall condition exists.
-    fn fire_cycle(&mut self, now: u64, scratch: &mut [Vec<Word>], tracer: &mut Tracer) -> bool {
-        let mut firing = self.firing();
+    fn fire_cycle(
+        &mut self,
+        now: u64,
+        scratch: &mut [Vec<Word>],
+        es: &mut ExecScratch,
+        tracer: &mut Tracer,
+    ) -> bool {
+        let ExecScratch {
+            firing,
+            vals,
+            ctx_pool,
+            ..
+        } = es;
+        self.fill_firing(firing);
         firing.sort_unstable();
-        for &(j, _) in &firing {
-            self.ensure_ctx(j);
+        for &(j, _) in firing.iter() {
+            self.ensure_ctx(j, ctx_pool);
         }
-        if let Some((slot, reason)) = self.first_blocker(&firing, now) {
+        if let Some((slot, reason)) = self.first_blocker(firing, now) {
             if tracer.enabled() {
                 tracer.emit(now, TraceEvent::KernelStall { slot, reason });
             }
             return false;
         }
+        // Borrow the op list through the shared kernel handle so per-op
+        // execution needs no `Op` clone.
+        let kernel = Arc::clone(&self.kernel);
         let mut comm_busy = false;
-        for &(j, opi) in &firing {
-            let op = self.kernel.ops[opi].clone();
-            let vals: Vec<Word> = (0..self.lanes)
-                .map(|lane| self.execute_lane(j, opi, &op, lane, scratch, &mut comm_busy))
-                .collect();
+        for &(j, opi) in firing.iter() {
+            let op = &kernel.ops[opi];
+            vals.clear();
+            for lane in 0..self.lanes {
+                vals.push(self.execute_lane(j, opi, op, lane, scratch, &mut comm_busy));
+            }
             // Cross-lane ops (Comm, CondRead) need all-lane semantics;
             // handled inside execute paths below via whole-op handling.
             let idx = (j - self.ctx_base) as usize;
-            for (lane, v) in vals.into_iter().enumerate() {
+            for (lane, &v) in vals.iter().enumerate() {
                 self.ctxs[idx][opi * self.lanes + lane] = v;
             }
         }
@@ -608,10 +649,9 @@ impl KernelRun {
                     let k = conds.iter().filter(|&&c| c).count();
                     let k_eff = k.min(st.remaining_words() as usize);
                     let mut words = st.pop(k_eff).into_iter();
-                    self.cond_scratch = conds
-                        .iter()
-                        .map(|&c| if c { words.next().unwrap_or(0) } else { 0 })
-                        .collect();
+                    for (slot, &c) in self.cond_scratch.iter_mut().zip(&conds) {
+                        *slot = if c { words.next().unwrap_or(0) } else { 0 };
+                    }
                     *comm_busy = true;
                 }
                 self.cond_scratch[lane]

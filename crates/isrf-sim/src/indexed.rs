@@ -275,6 +275,11 @@ pub fn topology_issue_budget(topology: CrossLaneTopology, lanes: usize) -> usize
     }
 }
 
+/// Upper bound on SRF banks supported by the per-cycle occupancy masks in
+/// [`service_indexed`] (one `u64` of sub-array bits per bank, on the
+/// stack).
+const MAX_BANKS: usize = 64;
+
 /// One cycle of stage-2 (local) arbitration and SRAM access for all
 /// indexed streams. Call when stage-1 grants the port to the indexed
 /// group. Cross-lane *issue* uses the dedicated index network and is never
@@ -298,7 +303,13 @@ pub fn service_indexed(
     }
     // Sub-array occupancy per bank for this cycle (shared between in-lane
     // and cross-lane accesses — the SRAM is single-ported per sub-array).
-    let mut busy = vec![vec![false; p.subarrays]; p.lanes];
+    // One bit per sub-array, one word per bank: this is rebuilt every
+    // cycle, so it lives on the stack instead of the heap.
+    assert!(
+        p.lanes <= MAX_BANKS && p.subarrays <= 64,
+        "bank/sub-array occupancy masks support at most {MAX_BANKS} banks of 64 sub-arrays"
+    );
+    let mut busy = [0u64; MAX_BANKS];
 
     // --- In-lane service: per lane, up to `inlane_words_per_cycle`
     // accesses to distinct sub-arrays, at most one per stream. ---
@@ -341,7 +352,7 @@ pub fn service_indexed(
                 debug_assert!(false, "in-lane index {record} out of range");
             }
             let sub = srf.subarray_of(offset.min(srf.bank_words() - 1));
-            if busy[lane][sub] {
+            if busy[lane] & (1 << sub) != 0 {
                 if tracer.enabled() {
                     tracer.emit(
                         now,
@@ -355,7 +366,7 @@ pub fn service_indexed(
                 }
                 continue; // sub-array conflict: serialize (head-of-line)
             }
-            busy[lane][sub] = true;
+            busy[lane] |= 1 << sub;
             budget -= 1;
             traffic.inlane_words += 1;
             if is_read {
@@ -399,7 +410,8 @@ pub fn service_indexed(
     // `network_ports_per_bank`; data returns are queued for the shared
     // inter-cluster network. ---
     {
-        let mut bank_ports = vec![p.network_ports_per_bank; p.lanes];
+        let mut bank_ports = [0usize; MAX_BANKS];
+        bank_ports[..p.lanes].fill(p.network_ports_per_bank);
         let mut global_budget = topology_issue_budget(p.topology, p.lanes);
         for lane in 0..p.lanes {
             let mut issues = p.crosslane_words_per_cycle;
@@ -446,7 +458,7 @@ pub fn service_indexed(
                     continue; // bank's network ports exhausted this cycle
                 }
                 let sub = srf.subarray_of(offset.min(srf.bank_words() - 1));
-                if busy[bank][sub] {
+                if busy[bank] & (1 << sub) != 0 {
                     if tracer.enabled() {
                         tracer.emit(
                             now,
@@ -460,7 +472,7 @@ pub fn service_indexed(
                     }
                     continue; // sub-array conflict with another access
                 }
-                busy[bank][sub] = true;
+                busy[bank] |= 1 << sub;
                 bank_ports[bank] -= 1;
                 issues -= 1;
                 global_budget -= 1;

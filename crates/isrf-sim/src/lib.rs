@@ -83,7 +83,7 @@ pub mod program;
 pub mod srf;
 pub mod stream;
 
-pub use exec::{KernelRun, Phase};
+pub use exec::{ExecScratch, KernelRun, Phase};
 pub use indexed::{
     service_indexed, topology_extra_latency, topology_issue_budget, IdxKind, IdxParams, IdxState,
 };

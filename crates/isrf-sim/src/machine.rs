@@ -14,7 +14,6 @@
 //! for transfers), and kernel overheads (dispatch, software-pipeline
 //! fill/drain, output flush, and everything else).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use isrf_core::config::{ConfigError, MachineConfig};
@@ -23,11 +22,17 @@ use isrf_core::Word;
 use isrf_mem::{MemorySystem, TransferId};
 use isrf_trace::{CycleAttr, TraceEvent, Tracer};
 
-use crate::exec::{KernelRun, Phase};
+use crate::exec::{ExecScratch, KernelRun, Phase};
 
-/// A running memory transfer and, for loads, the destination stream and
-/// the data to land in the SRF at completion.
-type PendingTransfer = (TransferId, Option<(StreamBinding, Vec<Word>)>);
+/// A live memory transfer issued by [`Machine::run`]: the program op it
+/// completes and, for loads, the destination stream and the data to land
+/// in the SRF at completion. Stored in a slab indexed by the transfer's
+/// slab slot, so completions resolve without scanning.
+#[derive(Debug)]
+struct PendingTransfer {
+    op: usize,
+    fill: Option<(StreamBinding, Vec<Word>)>,
+}
 
 use crate::program::{ProgOp, StreamProgram};
 use crate::srf::Srf;
@@ -46,6 +51,16 @@ pub struct Machine {
     /// Fractional SRF-port debt of memory transfers, in words.
     mem_port_words: f64,
     tracer: Tracer,
+    /// Reusable kernel-execution buffers, shared across invocations.
+    exec_scratch: ExecScratch,
+    /// Live transfers, indexed by slab slot (mirrors the memory system's
+    /// slot allocation).
+    pending: Vec<Option<PendingTransfer>>,
+    /// Reusable staging buffer for store/scatter source data.
+    store_buf: Vec<Word>,
+    /// Fast-forward across cycles where every sequencer is stalled on
+    /// memory (on by default; identical observable behavior either way).
+    quiesce_skip: bool,
 }
 
 impl Machine {
@@ -64,8 +79,20 @@ impl Machine {
             stats: RunStats::default(),
             mem_port_words: 0.0,
             tracer: Tracer::Null,
+            exec_scratch: ExecScratch::default(),
+            pending: Vec::new(),
+            store_buf: Vec::new(),
+            quiesce_skip: true,
             cfg,
         })
+    }
+
+    /// Enable or disable the quiescence fast-forward (skipping runs of
+    /// cycles where the sequencer is idle and every live transfer is just
+    /// waiting out its access latency). On by default; disabling it only
+    /// slows simulation — cycle counts, stats and traces are identical.
+    pub fn set_quiescence_skip(&mut self, on: bool) {
+        self.quiesce_skip = on;
     }
 
     /// The machine configuration.
@@ -147,12 +174,23 @@ impl Machine {
 
     /// Read a stream's content out of the SRF (for checking results).
     pub fn read_stream(&self, b: &StreamBinding) -> Vec<Word> {
-        (0..b.words())
-            .map(|k| {
+        let mut out = Vec::new();
+        self.read_stream_into(b, &mut out);
+        out
+    }
+
+    /// Read a stream's content out of the SRF into `out` (cleared first).
+    /// Lets hot paths reuse one buffer instead of materializing a fresh
+    /// `Vec` per access.
+    pub fn read_stream_into(&self, b: &StreamBinding, out: &mut Vec<Word>) {
+        out.clear();
+        out.reserve(b.words() as usize);
+        for k in 0..b.words() {
+            out.push(
                 self.srf
-                    .read_stream_word(b.range, b.record_words, b.stream_word(k))
-            })
-            .collect()
+                    .read_stream_word(b.range, b.record_words, b.stream_word(k)),
+            );
+        }
     }
 
     /// Write data into a stream's SRF storage directly (test setup).
@@ -160,6 +198,105 @@ impl Machine {
         for (k, &v) in data.iter().enumerate() {
             self.srf
                 .write_stream_word(b.range, b.record_words, b.stream_word(k as u32), v);
+        }
+    }
+
+    /// Record a live transfer in the slot-indexed pending table.
+    fn track_transfer(
+        &mut self,
+        id: TransferId,
+        op: usize,
+        fill: Option<(StreamBinding, Vec<Word>)>,
+    ) {
+        let slot = id.slot();
+        if self.pending.len() <= slot {
+            self.pending.resize_with(slot + 1, || None);
+        }
+        debug_assert!(self.pending[slot].is_none(), "slab slot reused while live");
+        self.pending[slot] = Some(PendingTransfer { op, fill });
+    }
+
+    /// Gather-issue addressing: `base + index_stream[k]` for every element.
+    fn collect_indices(&self, index_stream: &StreamBinding, base: u32) -> Vec<u32> {
+        (0..index_stream.words())
+            .map(|k| {
+                base + self.srf.read_stream_word(
+                    index_stream.range,
+                    index_stream.record_words,
+                    index_stream.stream_word(k),
+                )
+            })
+            .collect()
+    }
+
+    /// Issue memory op `i`: hand the transfer to the memory system (access
+    /// patterns are borrowed from the program, store data staged through
+    /// the reusable buffer) and record its pending completion.
+    fn issue_mem_op(&mut self, program: &StreamProgram, i: usize) {
+        let (id, words, write, cacheable) = match &program.nodes[i].op {
+            ProgOp::Load {
+                pattern,
+                dst,
+                cacheable,
+            } => {
+                let (id, data) = self.mem.start_read(pattern, *cacheable);
+                let words = data.len() as u32;
+                self.track_transfer(id, i, Some((*dst, data)));
+                (id, words, false, *cacheable)
+            }
+            ProgOp::Store {
+                src,
+                pattern,
+                cacheable,
+            } => {
+                let mut buf = std::mem::take(&mut self.store_buf);
+                self.read_stream_into(src, &mut buf);
+                let words = buf.len() as u32;
+                let id = self.mem.start_write(pattern, &buf, *cacheable);
+                self.store_buf = buf;
+                self.track_transfer(id, i, None);
+                (id, words, true, *cacheable)
+            }
+            ProgOp::GatherDyn {
+                index_stream,
+                base,
+                dst,
+                cacheable,
+            } => {
+                let addrs = self.collect_indices(index_stream, *base);
+                let (id, data) = self.mem.start_gather(addrs, *cacheable);
+                let words = data.len() as u32;
+                self.track_transfer(id, i, Some((*dst, data)));
+                (id, words, false, *cacheable)
+            }
+            ProgOp::ScatterDyn {
+                src,
+                index_stream,
+                base,
+                cacheable,
+            } => {
+                let addrs = self.collect_indices(index_stream, *base);
+                let mut buf = std::mem::take(&mut self.store_buf);
+                self.read_stream_into(src, &mut buf);
+                let words = buf.len() as u32;
+                let id = self.mem.start_scatter(addrs, &buf, *cacheable);
+                self.store_buf = buf;
+                self.track_transfer(id, i, None);
+                (id, words, true, *cacheable)
+            }
+            ProgOp::Kernel { .. } => unreachable!("kernels dispatch on the sequencer"),
+        };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                self.now,
+                TraceEvent::TransferStart {
+                    op: i as u32,
+                    id: id.raw(),
+                    words,
+                    write,
+                    cacheable,
+                },
+            );
         }
     }
 
@@ -174,188 +311,108 @@ impl Machine {
         let mem_start = self.mem.traffic();
         let n = program.len();
         let mut done = vec![false; n];
-        let mut running_mem: HashMap<usize, PendingTransfer> = HashMap::new();
+        // Dependence bookkeeping resolved at program issue: an op becomes
+        // ready the moment its last dependence completes — the per-cycle
+        // path never rescans the program.
+        let mut pending_deps: Vec<u32> = vec![0; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut kernels: Vec<usize> = Vec::new();
+        for (i, node) in program.nodes.iter().enumerate() {
+            pending_deps[i] = node.deps.len() as u32;
+            for d in &node.deps {
+                dependents[d.0].push(i);
+            }
+            if matches!(node.op, ProgOp::Kernel { .. }) {
+                kernels.push(i);
+            }
+        }
+        let mut ready_mem: Vec<usize> = (0..n)
+            .filter(|&i| {
+                pending_deps[i] == 0 && !matches!(program.nodes[i].op, ProgOp::Kernel { .. })
+            })
+            .collect();
+        let mut next_kernel = 0usize; // kernels execute in program order
         let mut kernel_run: Option<(usize, KernelRun)> = None;
         let mut kernel_dispatch_left: u32 = 0;
-        let mut kernel_cursor = 0usize; // kernels execute in program order
         let mut completed = 0usize;
-
-        let deps_done = |done: &[bool], id: usize, program: &StreamProgram| {
-            program.nodes[id].deps.iter().all(|d| done[d.0])
-        };
+        let mut live_transfers = 0usize;
+        let block = (self.cfg.lanes * self.cfg.srf.words_per_seq_access) as f64;
 
         while completed < n {
-            // Start ready memory ops.
-            for i in 0..n {
-                if done[i] || running_mem.contains_key(&i) {
-                    continue;
-                }
-                match &program.nodes[i].op {
-                    ProgOp::Load {
-                        pattern,
-                        dst,
-                        cacheable,
-                    } if deps_done(&done, i, program) => {
-                        let (id, data) = self.mem.start_read(pattern.clone(), *cacheable);
-                        if self.tracer.enabled() {
-                            self.tracer.emit(
-                                self.now,
-                                TraceEvent::TransferStart {
-                                    op: i as u32,
-                                    id: id.raw(),
-                                    words: data.len() as u32,
-                                    write: false,
-                                    cacheable: *cacheable,
-                                },
-                            );
-                        }
-                        running_mem.insert(i, (id, Some((*dst, data))));
-                    }
-                    ProgOp::Store {
-                        src,
-                        pattern,
-                        cacheable,
-                    } if deps_done(&done, i, program) => {
-                        let data: Vec<Word> = (0..src.words())
-                            .map(|k| {
-                                self.srf.read_stream_word(
-                                    src.range,
-                                    src.record_words,
-                                    src.stream_word(k),
-                                )
-                            })
-                            .collect();
-                        let words = data.len() as u32;
-                        let id = self.mem.start_write(pattern.clone(), &data, *cacheable);
-                        if self.tracer.enabled() {
-                            self.tracer.emit(
-                                self.now,
-                                TraceEvent::TransferStart {
-                                    op: i as u32,
-                                    id: id.raw(),
-                                    words,
-                                    write: true,
-                                    cacheable: *cacheable,
-                                },
-                            );
-                        }
-                        running_mem.insert(i, (id, None));
-                    }
-                    ProgOp::GatherDyn {
-                        index_stream,
-                        base,
-                        dst,
-                        cacheable,
-                    } if deps_done(&done, i, program) => {
-                        let addrs: Vec<u32> = (0..index_stream.words())
-                            .map(|k| {
-                                base + self.srf.read_stream_word(
-                                    index_stream.range,
-                                    index_stream.record_words,
-                                    index_stream.stream_word(k),
-                                )
-                            })
-                            .collect();
-                        let (id, data) = self
-                            .mem
-                            .start_read(isrf_mem::AddrPattern::Indexed(addrs), *cacheable);
-                        if self.tracer.enabled() {
-                            self.tracer.emit(
-                                self.now,
-                                TraceEvent::TransferStart {
-                                    op: i as u32,
-                                    id: id.raw(),
-                                    words: data.len() as u32,
-                                    write: false,
-                                    cacheable: *cacheable,
-                                },
-                            );
-                        }
-                        running_mem.insert(i, (id, Some((*dst, data))));
-                    }
-                    ProgOp::ScatterDyn {
-                        src,
-                        index_stream,
-                        base,
-                        cacheable,
-                    } if deps_done(&done, i, program) => {
-                        let addrs: Vec<u32> = (0..index_stream.words())
-                            .map(|k| {
-                                base + self.srf.read_stream_word(
-                                    index_stream.range,
-                                    index_stream.record_words,
-                                    index_stream.stream_word(k),
-                                )
-                            })
-                            .collect();
-                        let data: Vec<Word> = (0..src.words())
-                            .map(|k| {
-                                self.srf.read_stream_word(
-                                    src.range,
-                                    src.record_words,
-                                    src.stream_word(k),
-                                )
-                            })
-                            .collect();
-                        let words = data.len() as u32;
-                        let id = self.mem.start_write(
-                            isrf_mem::AddrPattern::Indexed(addrs),
-                            &data,
-                            *cacheable,
-                        );
-                        if self.tracer.enabled() {
-                            self.tracer.emit(
-                                self.now,
-                                TraceEvent::TransferStart {
-                                    op: i as u32,
-                                    id: id.raw(),
-                                    words,
-                                    write: true,
-                                    cacheable: *cacheable,
-                                },
-                            );
-                        }
-                        running_mem.insert(i, (id, None));
-                    }
-                    _ => {}
+            // Start ready memory ops (ascending op order, matching the
+            // program scan this replaces).
+            if !ready_mem.is_empty() {
+                ready_mem.sort_unstable();
+                for i in ready_mem.drain(..) {
+                    self.issue_mem_op(program, i);
+                    live_transfers += 1;
                 }
             }
             // Dispatch the next kernel (in program order) when ready.
-            while kernel_cursor < n
-                && (done[kernel_cursor]
-                    || !matches!(program.nodes[kernel_cursor].op, ProgOp::Kernel { .. }))
-            {
-                kernel_cursor += 1;
+            while next_kernel < kernels.len() && done[kernels[next_kernel]] {
+                next_kernel += 1;
             }
-            if kernel_run.is_none() && kernel_cursor < n && deps_done(&done, kernel_cursor, program)
-            {
-                if let ProgOp::Kernel {
-                    kernel,
-                    schedule,
-                    bindings,
-                    iters,
-                } = &program.nodes[kernel_cursor].op
-                {
-                    if self.tracer.enabled() {
-                        self.tracer.emit(
-                            self.now,
-                            TraceEvent::KernelStart {
-                                op: kernel_cursor as u32,
-                                name: kernel.name.as_str().into(),
-                            },
-                        );
+            if kernel_run.is_none() && next_kernel < kernels.len() {
+                let ki = kernels[next_kernel];
+                if pending_deps[ki] == 0 {
+                    if let ProgOp::Kernel {
+                        kernel,
+                        schedule,
+                        bindings,
+                        iters,
+                    } = &program.nodes[ki].op
+                    {
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                self.now,
+                                TraceEvent::KernelStart {
+                                    op: ki as u32,
+                                    name: kernel.name.as_str().into(),
+                                },
+                            );
+                        }
+                        kernel_run = Some((
+                            ki,
+                            KernelRun::new(
+                                &self.cfg,
+                                Arc::clone(kernel),
+                                Arc::clone(schedule),
+                                bindings,
+                                *iters,
+                            ),
+                        ));
+                        kernel_dispatch_left = self.cfg.kernel_dispatch_cycles;
                     }
-                    kernel_run = Some((
-                        kernel_cursor,
-                        KernelRun::new(
-                            &self.cfg,
-                            Arc::clone(kernel),
-                            schedule.clone(),
-                            bindings.clone(),
-                            *iters,
-                        ),
-                    ));
-                    kernel_dispatch_left = self.cfg.kernel_dispatch_cycles;
+                }
+            }
+
+            // Quiescence fast-forward: no kernel running or dispatchable,
+            // nothing left to issue, and every live transfer has been
+            // fully served — the machine would spend every cycle up to the
+            // next completion in a pure memory stall, so take them all at
+            // once. `advance_idle` replays the credit refill cycle by
+            // cycle, so this is bit-identical to ticking; the port-debt
+            // gate keeps any PortPreempted cycle on the slow path.
+            if self.quiesce_skip
+                && kernel_run.is_none()
+                && live_transfers > 0
+                && self.mem.inflight_count() == 0
+                && self.mem_port_words < block
+            {
+                if let Some(t) = self.mem.next_completion_time() {
+                    let skip = t.saturating_sub(self.now + 1);
+                    if skip > 0 {
+                        if self.tracer.enabled() {
+                            for c in 1..=skip {
+                                self.tracer
+                                    .emit(self.now + c, TraceEvent::Cycle(CycleAttr::MemStall));
+                            }
+                        }
+                        self.mem.advance_idle(skip);
+                        self.now += skip;
+                        self.stats.breakdown.mem_stall += skip;
+                        self.stats.cycles += skip;
+                    }
                 }
             }
 
@@ -365,7 +422,6 @@ impl Machine {
             // Memory transfers consume the SRF port: one block grant per
             // N*m words moved.
             self.mem_port_words += self.mem.words_served_last_tick() as f64;
-            let block = (self.cfg.lanes * self.cfg.srf.words_per_seq_access) as f64;
             let mem_claims_port = if self.mem_port_words >= block {
                 self.mem_port_words -= block;
                 if self.tracer.enabled() {
@@ -376,15 +432,14 @@ impl Machine {
                 false
             };
 
-            // Complete finished memory ops (fill SRF for loads).
-            let finished: Vec<usize> = running_mem
-                .iter()
-                .filter(|(_, (id, _))| self.mem.is_complete(*id))
-                .map(|(&i, _)| i)
-                .collect();
-            for i in finished {
-                let (id, payload) = running_mem.remove(&i).expect("present");
-                if let Some((dst, data)) = payload {
+            // Retire finished transfers in (completion cycle, issue id)
+            // order, landing load data in the SRF.
+            while let Some(id) = self.mem.pop_ready() {
+                let Some(pt) = self.pending.get_mut(id.slot()).and_then(Option::take) else {
+                    continue; // issued directly on the memory system, not ours
+                };
+                live_transfers -= 1;
+                if let Some((dst, data)) = pt.fill {
                     for (k, &v) in data.iter().enumerate() {
                         self.srf.write_stream_word(
                             dst.range,
@@ -394,13 +449,20 @@ impl Machine {
                         );
                     }
                 }
-                done[i] = true;
-                completed += 1;
+                complete_op(
+                    pt.op,
+                    program,
+                    &mut done,
+                    &mut completed,
+                    &mut pending_deps,
+                    &dependents,
+                    &mut ready_mem,
+                );
                 if self.tracer.enabled() {
                     self.tracer.emit(
                         self.now,
                         TraceEvent::TransferDone {
-                            op: i as u32,
+                            op: pt.op as u32,
                             id: id.raw(),
                         },
                     );
@@ -421,6 +483,7 @@ impl Machine {
                         self.now,
                         &mut self.srf,
                         &mut self.scratch,
+                        &mut self.exec_scratch,
                         mem_claims_port,
                         &mut self.stats.srf,
                         &mut self.tracer,
@@ -469,14 +532,21 @@ impl Machine {
                                 self.tracer
                                     .emit(self.now, TraceEvent::Cycle(CycleAttr::KernelFinish));
                             }
-                            done[i] = true;
-                            completed += 1;
+                            complete_op(
+                                i,
+                                program,
+                                &mut done,
+                                &mut completed,
+                                &mut pending_deps,
+                                &dependents,
+                                &mut ready_mem,
+                            );
                             kernel_run = None;
                             self.stats.breakdown.overhead += 1; // this cycle
                         }
                     }
                 }
-            } else if !running_mem.is_empty() {
+            } else if live_transfers > 0 {
                 self.stats.breakdown.mem_stall += 1;
                 if self.tracer.enabled() {
                     self.tracer
@@ -514,6 +584,29 @@ impl Machine {
         delta.mem.bytes_written -= mem_start.bytes_written;
         delta.mem.cache_hit_bytes -= mem_start.cache_hit_bytes;
         delta
+    }
+}
+
+/// Retire op `i`: mark it done and push any newly unblocked memory ops
+/// onto the ready list (kernels wait for the sequencer's program-order
+/// cursor instead).
+#[allow(clippy::too_many_arguments)]
+fn complete_op(
+    i: usize,
+    program: &StreamProgram,
+    done: &mut [bool],
+    completed: &mut usize,
+    pending_deps: &mut [u32],
+    dependents: &[Vec<usize>],
+    ready_mem: &mut Vec<usize>,
+) {
+    done[i] = true;
+    *completed += 1;
+    for &j in &dependents[i] {
+        pending_deps[j] -= 1;
+        if pending_deps[j] == 0 && !matches!(program.nodes[j].op, ProgOp::Kernel { .. }) {
+            ready_mem.push(j);
+        }
     }
 }
 

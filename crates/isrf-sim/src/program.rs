@@ -82,8 +82,8 @@ pub enum ProgOp {
     Kernel {
         /// The kernel body.
         kernel: Arc<Kernel>,
-        /// Its modulo schedule.
-        schedule: Schedule,
+        /// Its modulo schedule, shared with each dispatched `KernelRun`.
+        schedule: Arc<Schedule>,
         /// One binding per kernel stream slot.
         bindings: Vec<StreamBinding>,
         /// Iterations per cluster.
@@ -287,7 +287,7 @@ impl StreamProgram {
         self.push(
             ProgOp::Kernel {
                 kernel,
-                schedule,
+                schedule: Arc::new(schedule),
                 bindings,
                 iters,
             },

@@ -39,6 +39,9 @@ pub struct Srf {
     lanes: usize,
     bank_words: u32,
     subarray_words: u32,
+    /// `log2(subarray_words)` when it is a power of two, letting
+    /// [`Srf::subarray_of`] shift instead of divide on the hot path.
+    subarray_shift: Option<u32>,
     /// `data[lane][offset]`.
     data: Vec<Vec<Word>>,
     next_free: u32,
@@ -48,10 +51,14 @@ impl Srf {
     /// Build the SRF for a machine configuration.
     pub fn new(cfg: &MachineConfig) -> Self {
         let bank_words = cfg.srf.bank_words(cfg.lanes) as u32;
+        let subarray_words = cfg.srf.subarray_words(cfg.lanes) as u32;
         Srf {
             lanes: cfg.lanes,
             bank_words,
-            subarray_words: cfg.srf.subarray_words(cfg.lanes) as u32,
+            subarray_words,
+            subarray_shift: subarray_words
+                .is_power_of_two()
+                .then(|| subarray_words.trailing_zeros()),
             data: vec![vec![0; bank_words as usize]; cfg.lanes],
             next_free: 0,
         }
@@ -74,7 +81,10 @@ impl Srf {
 
     /// Which sub-array a per-bank word offset falls in.
     pub fn subarray_of(&self, offset: u32) -> usize {
-        (offset / self.subarray_words) as usize
+        match self.subarray_shift {
+            Some(s) => (offset >> s) as usize,
+            None => (offset / self.subarray_words) as usize,
+        }
     }
 
     /// Number of sub-arrays per bank.

@@ -1,0 +1,149 @@
+//! Property test for the quiescence fast-forward: skipping the cycles
+//! where every sequencer is stalled on memory must be *unobservable*.
+//!
+//! For random stream programs — serial and overlapped strips, with and
+//! without kernels, cacheable and not — two fresh machines run the same
+//! program with the fast-forward enabled and disabled. The runs must
+//! produce identical `RunStats` (cycle counts and the full Figure-12
+//! breakdown), byte-identical trace event streams, and in both runs the
+//! trace audit's reconstruction must match the reported breakdown.
+
+use std::sync::Arc;
+
+use isrf_core::config::{ConfigName, MachineConfig};
+use isrf_kernel::ir::{Kernel, KernelBuilder, StreamKind};
+use isrf_kernel::sched::{schedule, SchedParams};
+use isrf_mem::AddrPattern;
+use isrf_sim::machine::Machine;
+use isrf_sim::program::StreamProgram;
+use isrf_trace::{TraceEvent, Tracer};
+use proptest::prelude::*;
+
+fn scale_kernel() -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("scale");
+    let i = b.stream("in", StreamKind::SeqIn);
+    let o = b.stream("out", StreamKind::SeqOut);
+    let x = b.seq_read(i);
+    let c = b.constant(3);
+    let y = b.mul(x, c);
+    b.seq_write(o, y);
+    Arc::new(b.build().unwrap())
+}
+
+/// One strip of the generated program: stream length, whether a kernel
+/// sits between the load and the store, whether the transfers go through
+/// the cache path, and whether the strip depends on the previous strip
+/// (serial) or runs overlapped with it.
+#[derive(Debug, Clone)]
+struct Strip {
+    words: u32,
+    kernel: bool,
+    cacheable: bool,
+    serial: bool,
+}
+
+fn strips() -> impl Strategy<Value = Vec<Strip>> {
+    prop::collection::vec(
+        (1u32..8, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+            |(k, kernel, cacheable, serial)| Strip {
+                words: k * 8,
+                kernel,
+                cacheable,
+                serial,
+            },
+        ),
+        1..5,
+    )
+}
+
+/// Build the machine, run the strips, and return (stats, trace events).
+fn run_strips(
+    cfg: ConfigName,
+    strips: &[Strip],
+    skip: bool,
+) -> (isrf_core::stats::RunStats, Vec<(u64, TraceEvent)>) {
+    let mcfg = MachineConfig::preset(cfg);
+    let kernel = scale_kernel();
+    let sched = schedule(&kernel, &SchedParams::from_machine(&mcfg)).unwrap();
+    let mut m = Machine::new(mcfg).unwrap();
+    m.set_quiescence_skip(skip);
+    m.set_tracer(Tracer::recording(1 << 16));
+    let mut p = StreamProgram::new();
+    let mut prev_tail = None;
+    for (s, strip) in strips.iter().enumerate() {
+        let base = (s as u32) * 0x1000;
+        for i in 0..strip.words {
+            m.mem_mut().memory_mut().write(base + i, base + i * 7 + 1);
+        }
+        let ib = m.alloc_stream(1, strip.words);
+        let ob = m.alloc_stream(1, strip.words);
+        let deps: Vec<_> = if strip.serial {
+            prev_tail.iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        let l = p.load(
+            AddrPattern::contiguous(base, strip.words),
+            ib,
+            strip.cacheable,
+            &deps,
+        );
+        let tail = if strip.kernel {
+            let k = p.kernel(
+                Arc::clone(&kernel),
+                sched.clone(),
+                vec![ib, ob],
+                u64::from(strip.words / 8),
+                &[l],
+            );
+            p.store(
+                ob,
+                AddrPattern::contiguous(0x10_0000 + base, strip.words),
+                strip.cacheable,
+                &[k],
+            )
+        } else {
+            // Pure memory strip: store the loaded stream straight back.
+            p.store(
+                ib,
+                AddrPattern::contiguous(0x10_0000 + base, strip.words),
+                strip.cacheable,
+                &[l],
+            )
+        };
+        prev_tail = Some(tail);
+    }
+    let stats = m.run(&p);
+    let events = m
+        .take_tracer()
+        .into_recorder()
+        .expect("recording")
+        .ring()
+        .iter()
+        .cloned()
+        .collect();
+    (stats, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fast-forwarding memory-stall quiescence is invisible: identical
+    /// stats, identical trace, audit-clean either way.
+    #[test]
+    fn quiescence_skip_is_unobservable(ss in strips()) {
+        for cfg in [ConfigName::Base, ConfigName::Isrf4, ConfigName::Cache] {
+            let (stats_on, events_on) = run_strips(cfg, &ss, true);
+            let (stats_off, events_off) = run_strips(cfg, &ss, false);
+            prop_assert_eq!(stats_on, stats_off, "stats differ on {}", cfg);
+            prop_assert_eq!(&events_on, &events_off, "trace differs on {}", cfg);
+            // Both runs' audits reconstruct the reported breakdown.
+            let mut audit = isrf_trace::AuditAccumulator::new();
+            for (_, ev) in &events_on {
+                audit.observe(ev);
+            }
+            let mismatches = audit.verify(&stats_on.breakdown);
+            prop_assert!(mismatches.is_empty(), "audit mismatch on {}: {:?}", cfg, mismatches);
+        }
+    }
+}
