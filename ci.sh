@@ -9,13 +9,21 @@
 #                     is written to results/BENCH_perf.current.json as the
 #                     run's trajectory artifact; the committed baseline is
 #                     never overwritten.
+#   ./ci.sh --miri    tier-1 gate, then `cargo miri test` on the pure
+#                     foundation crates (opt-in: miri is slow and needs the
+#                     nightly component; the gate fails if it is missing).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 perf_check=0
-if [[ "${1:-}" == "--check" ]]; then
-  perf_check=1
-fi
+miri=0
+for arg in "$@"; do
+  case "$arg" in
+    --check) perf_check=1 ;;
+    --miri) miri=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -34,20 +42,39 @@ echo "==> cargo doc (deny warnings)"
 # whose docs we do not police.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p isrf -p isrf-core -p isrf-trace -p isrf-sram -p isrf-mem \
-  -p isrf-kernel -p isrf-sim -p isrf-apps -p isrf-lang -p isrf-check \
-  -p isrf-bench
+  -p isrf-kernel -p isrf-sim -p isrf-verify -p isrf-apps -p isrf-lang \
+  -p isrf-check -p isrf-bench
+
+echo "==> static verification (all apps x all configs)"
+# Every shipped benchmark program must pass the isrf-verify hazard
+# analyzer on every paper configuration, plus the analyzer's own negative
+# corpus (run above as part of the workspace tests, repeated here so a
+# filtered test run cannot skip it).
+./target/release/verify all all
+cargo test -q -p isrf-verify
 
 echo "==> trace smoke test"
 # One app on one config: the audit must pass (exit 0) and the emitted
-# Chrome trace must parse as JSON.
+# Chrome trace must parse as JSON. Prefer an external JSON parser when one
+# exists; otherwise the trace binary's built-in validator is the gate —
+# either way an invalid trace FAILS the build.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/trace sort isrf4 --out-dir "$smoke_dir"
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-    "$smoke_dir/sort_isrf4.trace.json" 2>/dev/null \
-  || node -e "JSON.parse(require('fs').readFileSync(process.argv[1]))" \
-    "$smoke_dir/sort_isrf4.trace.json" 2>/dev/null \
-  || { echo "no python3/node for JSON check; relying on built-in validator"; }
+smoke_json="$smoke_dir/sort_isrf4.trace.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$smoke_json"
+elif command -v node >/dev/null 2>&1; then
+  node -e "JSON.parse(require('fs').readFileSync(process.argv[1]))" "$smoke_json"
+else
+  echo "no python3/node; using the built-in validator"
+  ./target/release/trace --validate "$smoke_json"
+fi
+
+if [[ "$miri" == 1 ]]; then
+  echo "==> cargo miri test (foundation crates)"
+  cargo miri test -q -p isrf-core -p isrf-sram
+fi
 
 if [[ "$perf_check" == 1 ]]; then
   echo "==> perf basket (--check against committed baseline)"

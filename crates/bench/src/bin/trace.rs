@@ -1,7 +1,9 @@
 //! Trace any application × configuration to a Chrome trace-event file.
 //!
 //! Usage: `trace [app|all] [config|all] [--paper] [--out-dir DIR]
-//! [--events N] [--timeline]`
+//! [--events N] [--timeline]`, or `trace --validate FILE` to only check an
+//! existing trace file for JSON validity (used by CI when no external JSON
+//! tool is available).
 //!
 //! Runs the chosen points under a recording tracer, writes
 //! `<out-dir>/<app>_<config>.trace.json` (loadable in Perfetto or
@@ -154,8 +156,35 @@ fn trace_point(app: &str, cfg: ConfigName, opts: &Options) -> bool {
     ok
 }
 
+/// `--validate FILE`: check JSON validity with the built-in validator.
+fn validate_file(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match json::validate(&text) {
+        Ok(()) => {
+            println!("{path}: valid JSON");
+            std::process::exit(0);
+        }
+        Err((pos, what)) => {
+            eprintln!("{path}: INVALID at byte {pos}: {what}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--validate") {
+        match args.get(1) {
+            Some(path) if args.len() == 2 => validate_file(path),
+            _ => usage(),
+        }
+    }
     let opts = parse(&args);
     let mut failures = 0;
     for &app in &opts.apps {

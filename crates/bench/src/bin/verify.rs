@@ -1,0 +1,91 @@
+//! Statically verify every application × configuration point.
+//!
+//! Usage: `verify [app|all] [config|all] [--paper]`
+//!
+//! Builds each benchmark exactly as the harness would run it, then runs the
+//! `isrf-verify` hazard analyzer over the prepared program instead of
+//! simulating it. Prints every diagnostic and exits non-zero if any point
+//! fails — the CI gate proving all shipped programs are hazard-free on all
+//! four paper configurations.
+//!
+//! Apps: `fft2d rijndael sort filter igraph`. Configs: `base isrf1 isrf4
+//! cache`.
+
+use std::sync::Arc;
+
+use isrf_bench::{prepare_app, Profile, DIFF_APPS};
+use isrf_core::config::ConfigName;
+use isrf_verify::Verifier;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: verify [app|all] [config|all] [--paper]\n  apps: {}  all\n  \
+         configs: base isrf1 isrf4 cache all",
+        DIFF_APPS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::Small;
+    let mut positional: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--paper" => profile = Profile::Paper,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => usage(),
+            pos => positional.push(pos),
+        }
+    }
+    if positional.len() > 2 {
+        usage();
+    }
+    let app_sel = positional.first().copied().unwrap_or("all");
+    let cfg_sel = positional.get(1).copied().unwrap_or("all");
+    let apps: Vec<&str> = if app_sel == "all" {
+        DIFF_APPS.to_vec()
+    } else {
+        match DIFF_APPS.iter().find(|&&a| a == app_sel) {
+            Some(&a) => vec![a],
+            None => usage(),
+        }
+    };
+    let configs: Vec<ConfigName> = if cfg_sel == "all" {
+        ConfigName::ALL.to_vec()
+    } else {
+        match ConfigName::ALL
+            .iter()
+            .find(|c| c.to_string().eq_ignore_ascii_case(cfg_sel))
+        {
+            Some(&c) => vec![c],
+            None => usage(),
+        }
+    };
+
+    let mut failures = 0;
+    for &app in &apps {
+        for &cfg in &configs {
+            let mut pr = prepare_app(app, cfg, profile);
+            // Install the analyzer explicitly: a machine without one would
+            // verify vacuously, and this gate must never pass vacuously.
+            pr.machine.set_verifier(Some(Arc::new(Verifier::new())));
+            match pr.machine.verify_program(&pr.program) {
+                Ok(()) => {
+                    println!("{app} on {cfg}: clean ({} program op(s))", pr.program.len());
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{app} on {cfg}: {} finding(s)", e.diagnostics.len());
+                    for d in &e.diagnostics {
+                        println!("  {d}");
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} point(s) failed static verification");
+        std::process::exit(1);
+    }
+}

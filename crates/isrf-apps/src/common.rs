@@ -1,12 +1,14 @@
 //! Shared benchmark plumbing.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use isrf_core::config::{ConfigName, MachineConfig};
 use isrf_kernel::ir::Kernel;
 use isrf_kernel::sched::{schedule, SchedParams, Schedule};
 use isrf_mem::AddrPattern;
 use isrf_sim::{Machine, StreamProgram};
+use isrf_verify::Verifier;
 
 thread_local! {
     static SEPARATION_OVERRIDE: Cell<Option<(u32, u32)>> = const { Cell::new(None) };
@@ -30,7 +32,13 @@ pub fn machine(cfg: ConfigName) -> Machine {
         c.sched.inlane_addr_data_separation = inl;
         c.sched.crosslane_addr_data_separation = xl;
     }
-    Machine::new(c).expect("presets validate")
+    let mut m = Machine::new(c).expect("presets validate");
+    // Every benchmark machine carries the static hazard analyzer; with the
+    // default `VerifyPolicy::Debug` it runs before each program in debug
+    // builds (so the test suite proves every shipped program verifies
+    // clean) and costs nothing in release benchmarking.
+    m.set_verifier(Some(Arc::new(Verifier::new())));
+    m
 }
 
 /// A benchmark run split at the machine/program boundary: the machine is

@@ -15,6 +15,9 @@ const TRACE_TAIL: usize = 32;
 /// Where a differential run diverged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiffError {
+    /// The machine's static verifier rejected the program before it ran:
+    /// `(code, rendered diagnostic)`.
+    Verify(String, String),
     /// An output-region memory word differs: `(addr, machine, reference)`.
     Memory(u32, u32, u32),
     /// An SRF word differs: `(lane, offset, machine, reference)`.
@@ -31,6 +34,7 @@ pub enum DiffError {
 impl fmt::Display for DiffError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            DiffError::Verify(_, rendered) => write!(f, "static verification: {rendered}"),
             DiffError::Memory(addr, m, r) => {
                 write!(f, "memory[{addr:#x}]: machine {m:#x} != reference {r:#x}")
             }
@@ -53,7 +57,8 @@ impl fmt::Display for DiffError {
 /// trace events leading up to the end of the run for post-mortem context.
 #[derive(Debug, Clone)]
 pub struct DiffFailure {
-    /// The divergences, in scan order (memory, SRF, counts, audit).
+    /// The divergences, in scan order (verification, memory, SRF, counts,
+    /// audit).
     pub errors: Vec<DiffError>,
     /// The final `TRACE_TAIL` recorded events, already rendered one per
     /// line as `  @<cycle> <event>`.
@@ -87,7 +92,10 @@ pub struct DiffOutcome {
 }
 
 /// Run `program` on both the machine and a reference snapshot of it, then
-/// compare final state:
+/// compare final state. The machine's installed static verifier (if any)
+/// runs first; its diagnostics become [`DiffError::Verify`] entries and the
+/// program is never simulated. On a clean verification the comparison
+/// covers:
 ///
 /// * every word of every `(base, words)` output region in memory,
 /// * the entire remaining memory image (stores land functionally at issue
@@ -109,6 +117,20 @@ pub fn run_differential(
     program: &StreamProgram,
     outputs: &[(u32, u32)],
 ) -> Result<DiffOutcome, DiffFailure> {
+    // Static verification first: a program the machine's installed
+    // verifier rejects would panic (or wedge) mid-simulation, so surface
+    // the diagnostics as a structured failure instead.
+    if let Err(e) = machine.verify_program(program) {
+        return Err(DiffFailure {
+            errors: e
+                .diagnostics
+                .iter()
+                .take(32)
+                .map(|d| DiffError::Verify(d.code.clone(), d.to_string()))
+                .collect(),
+            trace_tail: Vec::new(),
+        });
+    }
     let mut reference = RefMachine::from_machine(machine);
     reference.run(program);
     let prev = machine.set_tracer(Tracer::recording(TRACE_TAIL));

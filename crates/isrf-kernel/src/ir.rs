@@ -367,6 +367,9 @@ pub struct Kernel {
     /// Loop-body operations in program order. Operands with `distance == 0`
     /// always reference earlier ops (enforced by [`KernelBuilder`]).
     pub ops: Vec<Op>,
+    /// Source line per op (same length as `ops`, or empty when the kernel
+    /// was hand-built). 0 means "no line known" for that op.
+    pub lines: Vec<u32>,
 }
 
 impl Kernel {
@@ -377,6 +380,14 @@ impl Kernel {
     /// Panics if the slot is out of range.
     pub fn stream(&self, slot: StreamSlot) -> &StreamDecl {
         &self.streams[slot.0 as usize]
+    }
+
+    /// Source line of op `i`, when the frontend recorded one.
+    pub fn source_line(&self, i: usize) -> Option<u32> {
+        match self.lines.get(i) {
+            Some(&l) if l > 0 => Some(l),
+            _ => None,
+        }
     }
 
     /// Check structural invariants: operand counts, forward references,
@@ -523,6 +534,8 @@ pub struct KernelBuilder {
     name: String,
     streams: Vec<StreamDecl>,
     ops: Vec<Op>,
+    lines: Vec<u32>,
+    cur_line: u32,
 }
 
 impl KernelBuilder {
@@ -532,7 +545,14 @@ impl KernelBuilder {
             name: name.into(),
             streams: Vec::new(),
             ops: Vec::new(),
+            lines: Vec::new(),
+            cur_line: 0,
         }
+    }
+
+    /// Tag subsequently pushed ops with a frontend source line (0 = none).
+    pub fn set_source_line(&mut self, line: u32) {
+        self.cur_line = line;
     }
 
     /// Declare a stream and get its slot.
@@ -555,6 +575,7 @@ impl KernelBuilder {
         );
         let id = ValueId(u32::try_from(self.ops.len()).expect("too many ops"));
         self.ops.push(Op { opcode, operands });
+        self.lines.push(self.cur_line);
         id
     }
 
@@ -579,6 +600,7 @@ impl KernelBuilder {
             name: self.name,
             streams: self.streams,
             ops: self.ops,
+            lines: self.lines,
         };
         k.validate()?;
         Ok(k)
@@ -804,6 +826,7 @@ mod tests {
                 opcode: Opcode::Mov,
                 operands: vec![Operand::from(ValueId(0))],
             }],
+            lines: vec![],
         };
         assert!(k.validate().is_err());
     }

@@ -117,7 +117,7 @@ impl fmt::Display for ScheduleError {
 impl std::error::Error for ScheduleError {}
 
 /// Resource keys of the modulo reservation table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Resource {
     Alu,
     Divider,
@@ -143,8 +143,8 @@ fn resource_of(class: OpClass) -> Option<Resource> {
 
 /// Compute the resource-constrained minimum II.
 fn res_mii(kernel: &Kernel, params: &SchedParams) -> u32 {
-    use std::collections::HashMap;
-    let mut demand: HashMap<Resource, u32> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut demand: BTreeMap<Resource, u32> = BTreeMap::new();
     for op in &kernel.ops {
         if let Some(r) = resource_of(op.opcode.class()) {
             // The unpipelined divider is occupied for the full latency.
@@ -541,8 +541,8 @@ mod tests {
             );
         }
         // Modulo resource check.
-        use std::collections::HashMap;
-        let mut mrt: HashMap<(Resource, u32), u32> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut mrt: BTreeMap<(Resource, u32), u32> = BTreeMap::new();
         for (i, op) in kernel.ops.iter().enumerate() {
             if let Some(r) = resource_of(op.opcode.class()) {
                 for slot in Mrt::occupancy(

@@ -7,7 +7,7 @@ use isrf_kernel::graph::build_graph;
 use isrf_kernel::ir::{Kernel, KernelBuilder, OpClass, Operand, StreamKind, ValueId};
 use isrf_kernel::sched::{schedule, SchedParams};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct GenOp {
@@ -64,7 +64,7 @@ fn verify_schedule(k: &Kernel, p: &SchedParams) {
         );
     }
     // Modulo resource table: divider occupies its full latency.
-    let mut mrt: HashMap<(u8, u32), u32> = HashMap::new();
+    let mut mrt: BTreeMap<(u8, u32), u32> = BTreeMap::new();
     for (i, op) in k.ops.iter().enumerate() {
         let (key, width, cap) = match op.opcode.class() {
             OpClass::Alu => (0u8, 1, p.fu_count as u32),

@@ -21,14 +21,21 @@ struct Ctx {
     /// placeholder `Mov`, to be patched into a loop-carried reference to
     /// the variable's final value (the KernelC accumulator idiom).
     carried: Vec<(String, ValueId)>,
+    /// Source line of the statement being lowered (0 outside the body).
+    cur_line: u32,
 }
 
 impl Ctx {
+    /// An error attributed to the statement currently being lowered.
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(self.cur_line, msg)
+    }
+
     fn stream(&self, name: &str) -> Result<(StreamSlot, StreamTy, Ty), LangError> {
         self.streams
             .get(name)
             .copied()
-            .ok_or_else(|| err(format!("unknown stream `{name}`")))
+            .ok_or_else(|| self.err(format!("unknown stream `{name}`")))
     }
 
     /// Current value of `var`, creating a loop-carried placeholder on
@@ -37,7 +44,7 @@ impl Ctx {
         let ty = *self
             .var_ty
             .get(name)
-            .ok_or_else(|| err(format!("unknown variable `{name}`")))?;
+            .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
         if let Some(&v) = self.var_val.get(name) {
             return Ok((v, ty));
         }
@@ -51,7 +58,7 @@ impl Ctx {
     fn expr(&mut self, e: &Expr) -> Result<(ValueId, Ty), LangError> {
         match e {
             Expr::Int(v) => {
-                let w = i32::try_from(*v).map_err(|_| err("int literal out of range"))? as u32;
+                let w = i32::try_from(*v).map_err(|_| self.err("int literal out of range"))? as u32;
                 Ok((self.b.constant(w), Ty::Int))
             }
             Expr::Float(v) => Ok((self.b.constant_f(*v), Ty::Float)),
@@ -75,14 +82,14 @@ impl Ctx {
                         let z = self.b.constant(0);
                         Ok((self.b.eq(v, z), Ty::Int))
                     }
-                    _ => Err(err(format!("unary `{op}` not defined for {ty:?}"))),
+                    _ => Err(self.err(format!("unary `{op}` not defined for {ty:?}"))),
                 }
             }
             Expr::Binary(op, l, r) => {
                 let (a, ta) = self.expr(l)?;
                 let (b2, tb) = self.expr(r)?;
                 if ta != tb {
-                    return Err(err(format!(
+                    return Err(self.err(format!(
                         "type mismatch in `{op}`: {ta:?} vs {tb:?} (insert a cast)"
                     )));
                 }
@@ -111,7 +118,7 @@ impl Ctx {
                     (">", Ty::Float) => (b.flt(b2, a), Ty::Int),
                     (">=", Ty::Float) => (b.fle(b2, a), Ty::Int),
                     ("==", Ty::Float) => (b.feq(a, b2), Ty::Int),
-                    (op, ty) => return Err(err(format!("`{op}` not defined for {ty:?}"))),
+                    (op, ty) => return Err(self.err(format!("`{op}` not defined for {ty:?}"))),
                 };
                 Ok((v, ty))
             }
@@ -128,12 +135,12 @@ impl Ctx {
             ("select", 3) => {
                 let (c, tc) = self.expr(&args[0])?;
                 if tc != Ty::Int {
-                    return Err(err("select condition must be int"));
+                    return Err(self.err("select condition must be int"));
                 }
                 let (a, ta) = self.expr(&args[1])?;
                 let (b2, tb) = self.expr(&args[2])?;
                 if ta != tb {
-                    return Err(err("select arms must have the same type"));
+                    return Err(self.err("select arms must have the same type"));
                 }
                 Ok((self.b.select(c, a, b2), ta))
             }
@@ -141,7 +148,7 @@ impl Ctx {
                 let (a, ta) = self.expr(&args[0])?;
                 let (b2, tb) = self.expr(&args[1])?;
                 if ta != tb {
-                    return Err(err(format!("{name} arguments must match")));
+                    return Err(self.err(format!("{name} arguments must match")));
                 }
                 let v = match (name, ta) {
                     ("min", Ty::Int) => self.b.min(a, b2),
@@ -151,9 +158,7 @@ impl Ctx {
                 };
                 Ok((v, ta))
             }
-            _ => Err(err(format!(
-                "unknown intrinsic `{name}` with {argc} arguments"
-            ))),
+            _ => Err(self.err(format!("unknown intrinsic `{name}` with {argc} arguments"))),
         }
     }
 }
@@ -179,6 +184,7 @@ pub(crate) fn lower(def: &KernelDef) -> Result<Kernel, LangError> {
         var_ty: HashMap::new(),
         var_val: HashMap::new(),
         carried: Vec::new(),
+        cur_line: 0,
     };
     for Param {
         stream_ty,
@@ -209,15 +215,17 @@ pub(crate) fn lower(def: &KernelDef) -> Result<Kernel, LangError> {
     }
 
     for s in &def.body {
+        ctx.cur_line = s.line();
+        ctx.b.set_source_line(s.line());
         match s {
-            Stmt::Assign(var, e) => {
+            Stmt::Assign { var, value: e, .. } => {
                 let want = *ctx
                     .var_ty
                     .get(var)
-                    .ok_or_else(|| err(format!("unknown variable `{var}`")))?;
+                    .ok_or_else(|| ctx.err(format!("unknown variable `{var}`")))?;
                 let (v, got) = ctx.expr(e)?;
                 if want != got {
-                    return Err(err(format!(
+                    return Err(ctx.err(format!(
                         "assigning {got:?} to `{var}: {want:?}` (insert a cast)"
                     )));
                 }
@@ -228,42 +236,41 @@ pub(crate) fn lower(def: &KernelDef) -> Result<Kernel, LangError> {
                 index,
                 cond,
                 var,
+                ..
             } => {
                 let (slot, st, elem) = ctx.stream(stream)?;
                 let want = *ctx
                     .var_ty
                     .get(var)
-                    .ok_or_else(|| err(format!("unknown variable `{var}`")))?;
+                    .ok_or_else(|| ctx.err(format!("unknown variable `{var}`")))?;
                 if want != elem {
-                    return Err(err(format!(
-                        "reading {elem:?} stream into `{var}: {want:?}`"
-                    )));
+                    return Err(ctx.err(format!("reading {elem:?} stream into `{var}: {want:?}`")));
                 }
                 let v = match (st, index, cond) {
                     (StreamTy::SeqIn, None, None) => ctx.b.seq_read(slot),
                     (StreamTy::CondIn, None, Some(c)) => {
                         let (cv, ct) = ctx.expr(c)?;
                         if ct != Ty::Int {
-                            return Err(err("condition must be int"));
+                            return Err(ctx.err("condition must be int"));
                         }
                         ctx.b.cond_read(slot, cv)
                     }
                     (StreamTy::CondLaneIn, None, Some(c)) => {
                         let (cv, ct) = ctx.expr(c)?;
                         if ct != Ty::Int {
-                            return Err(err("condition must be int"));
+                            return Err(ctx.err("condition must be int"));
                         }
                         ctx.b.cond_lane_read(slot, cv)
                     }
                     (StreamTy::IdxInRead | StreamTy::IdxCrossRead, Some(i), None) => {
                         let (iv, it) = ctx.expr(i)?;
                         if it != Ty::Int {
-                            return Err(err("stream index must be int"));
+                            return Err(ctx.err("stream index must be int"));
                         }
                         ctx.b.idx_load(slot, iv)
                     }
                     _ => {
-                        return Err(err(format!(
+                        return Err(ctx.err(format!(
                             "access form does not match stream type of `{stream}`"
                         )))
                     }
@@ -275,13 +282,12 @@ pub(crate) fn lower(def: &KernelDef) -> Result<Kernel, LangError> {
                 index,
                 cond,
                 value,
+                ..
             } => {
                 let (slot, st, elem) = ctx.stream(stream)?;
                 let (v, got) = ctx.expr(value)?;
                 if got != elem {
-                    return Err(err(format!(
-                        "writing {got:?} to {elem:?} stream `{stream}`"
-                    )));
+                    return Err(ctx.err(format!("writing {got:?} to {elem:?} stream `{stream}`")));
                 }
                 match (st, index, cond) {
                     (StreamTy::SeqOut, None, None) => {
@@ -290,19 +296,19 @@ pub(crate) fn lower(def: &KernelDef) -> Result<Kernel, LangError> {
                     (StreamTy::CondOut, None, Some(c)) => {
                         let (cv, ct) = ctx.expr(c)?;
                         if ct != Ty::Int {
-                            return Err(err("condition must be int"));
+                            return Err(ctx.err("condition must be int"));
                         }
                         ctx.b.cond_write(slot, cv, v);
                     }
                     (StreamTy::IdxInWrite, Some(i), None) => {
                         let (iv, it) = ctx.expr(i)?;
                         if it != Ty::Int {
-                            return Err(err("stream index must be int"));
+                            return Err(ctx.err("stream index must be int"));
                         }
                         ctx.b.idx_write(slot, iv, v);
                     }
                     _ => {
-                        return Err(err(format!(
+                        return Err(ctx.err(format!(
                             "access form does not match stream type of `{stream}`"
                         )))
                     }
@@ -355,6 +361,21 @@ kernel lookup(
         let p = SchedParams::from_machine(&MachineConfig::preset(ConfigName::Isrf4));
         let s = schedule(&k, &p).unwrap();
         assert!(s.ii >= 1);
+    }
+
+    #[test]
+    fn source_lines_propagate_to_ops() {
+        let k = parse_kernel(FIG10).unwrap();
+        // `LUT[a] >> b;` sits on line 9 of FIG10 (leading newline counts).
+        let (i, _) = k
+            .ops
+            .iter()
+            .enumerate()
+            .find(|(_, o)| matches!(o.opcode, Opcode::IdxAddr(_)))
+            .unwrap();
+        assert_eq!(k.source_line(i), Some(9));
+        // Every op of a lowered kernel carries some line.
+        assert!((0..k.ops.len()).all(|i| k.source_line(i).is_some()));
     }
 
     #[test]

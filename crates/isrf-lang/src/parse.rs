@@ -80,6 +80,8 @@ pub mod ast {
             cond: Option<Expr>,
             /// Destination variable.
             var: String,
+            /// 1-based source line of the statement.
+            line: u32,
         },
         /// `s << e;`, `s[i] << e;`, or `if (c) s << e;`.
         Write {
@@ -91,9 +93,29 @@ pub mod ast {
             cond: Option<Expr>,
             /// Value written.
             value: Expr,
+            /// 1-based source line of the statement.
+            line: u32,
         },
         /// `v = e;`.
-        Assign(String, Expr),
+        Assign {
+            /// Assigned variable.
+            var: String,
+            /// Right-hand side.
+            value: Expr,
+            /// 1-based source line of the statement.
+            line: u32,
+        },
+    }
+
+    impl Stmt {
+        /// The 1-based source line this statement starts on.
+        pub fn line(&self) -> u32 {
+            match self {
+                Stmt::Read { line, .. } | Stmt::Write { line, .. } | Stmt::Assign { line, .. } => {
+                    *line
+                }
+            }
+        }
     }
 
     /// A parsed kernel.
@@ -261,6 +283,7 @@ pub(crate) fn parse(toks: &[Token]) -> Result<KernelDef, LangError> {
 }
 
 fn stmt(p: &mut P) -> Result<Stmt, LangError> {
+    let line = p.line();
     // Optional `if (cond)` prefix for conditional stream access.
     let mut cond = None;
     if let Some(Tok::Ident(id)) = p.peek() {
@@ -290,6 +313,7 @@ fn stmt(p: &mut P) -> Result<Stmt, LangError> {
                 index,
                 cond,
                 var,
+                line,
             })
         }
         Some(Tok::Shl) => {
@@ -300,12 +324,17 @@ fn stmt(p: &mut P) -> Result<Stmt, LangError> {
                 index,
                 cond,
                 value,
+                line,
             })
         }
         Some(Tok::Assign) if index.is_none() && cond.is_none() => {
             let e = expr(p)?;
             p.eat(&Tok::Semi)?;
-            Ok(Stmt::Assign(name, e))
+            Ok(Stmt::Assign {
+                var: name,
+                value: e,
+                line,
+            })
         }
         other => Err(p.err(format!("expected `>>`, `<<` or `=`, found {other:?}"))),
     }
@@ -497,7 +526,10 @@ kernel lookup(
         assert!(matches!(&k.body[0], Stmt::Read { cond: Some(_), .. }));
         assert!(matches!(
             &k.body[1],
-            Stmt::Assign(_, Expr::Cast(Ty::Float, _))
+            Stmt::Assign {
+                value: Expr::Cast(Ty::Float, _),
+                ..
+            }
         ));
     }
 

@@ -20,6 +20,9 @@
 //!   stores/scatters with explicit dependences).
 //! * [`machine`] — the top-level machine: runs programs, overlaps memory
 //!   with kernels, and attributes every cycle to the Figure 12 breakdown.
+//! * [`verify`] — the static-verification interface: a
+//!   [`ProgramVerifier`] installed on a machine checks programs before
+//!   they are simulated (the analyzer itself lives in `isrf-verify`).
 //!
 //! # Example: the paper's table-lookup kernel end to end
 //!
@@ -82,6 +85,7 @@ pub mod machine;
 pub mod program;
 pub mod srf;
 pub mod stream;
+pub mod verify;
 
 pub use exec::{ExecScratch, KernelRun, Phase};
 pub use indexed::{
@@ -91,3 +95,4 @@ pub use machine::Machine;
 pub use program::{ProgOp, ProgOpId, StreamProgram};
 pub use srf::{Srf, SrfRange};
 pub use stream::StreamBinding;
+pub use verify::{Diagnostic, ProgramVerifier, VerifyEnv, VerifyError, VerifyPolicy};

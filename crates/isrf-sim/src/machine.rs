@@ -37,6 +37,7 @@ struct PendingTransfer {
 use crate::program::{ProgOp, StreamProgram};
 use crate::srf::Srf;
 use crate::stream::StreamBinding;
+use crate::verify::{ProgramVerifier, VerifyEnv, VerifyError, VerifyPolicy};
 
 /// A complete simulated stream processor.
 #[derive(Debug)]
@@ -61,6 +62,13 @@ pub struct Machine {
     /// Fast-forward across cycles where every sequencer is stalled on
     /// memory (on by default; identical observable behavior either way).
     quiesce_skip: bool,
+    /// Static verifier consulted before simulation, when installed.
+    verifier: Option<Arc<dyn ProgramVerifier>>,
+    /// When the installed verifier runs automatically.
+    verify_policy: VerifyPolicy,
+    /// Per-bank word intervals known to hold data (sorted, disjoint):
+    /// direct `write_stream` setup plus the outputs of completed runs.
+    filled: Vec<(u32, u32)>,
 }
 
 impl Machine {
@@ -83,6 +91,9 @@ impl Machine {
             pending: Vec::new(),
             store_buf: Vec::new(),
             quiesce_skip: true,
+            verifier: None,
+            verify_policy: VerifyPolicy::default(),
+            filled: Vec::new(),
             cfg,
         })
     }
@@ -167,9 +178,103 @@ impl Machine {
         StreamBinding::whole(range, record_words, records)
     }
 
-    /// Release all SRF allocations.
+    /// Release all SRF allocations. Also forgets which intervals held
+    /// data: ranges handed out earlier must no longer be used, so nothing
+    /// inside them counts as live for verification.
     pub fn free_srf(&mut self) {
         self.srf.free_all();
+        self.filled.clear();
+    }
+
+    /// Install a static verifier (or remove one with `None`); returns the
+    /// previous verifier. See [`VerifyPolicy`] for when it runs.
+    pub fn set_verifier(
+        &mut self,
+        v: Option<Arc<dyn ProgramVerifier>>,
+    ) -> Option<Arc<dyn ProgramVerifier>> {
+        std::mem::replace(&mut self.verifier, v)
+    }
+
+    /// Set when the installed verifier runs automatically inside
+    /// [`Machine::run`]; returns the previous policy. The default is
+    /// [`VerifyPolicy::Debug`].
+    pub fn set_verify_policy(&mut self, p: VerifyPolicy) -> VerifyPolicy {
+        std::mem::replace(&mut self.verify_policy, p)
+    }
+
+    /// The machine-side facts handed to the verifier: allocator high-water
+    /// mark and the per-bank intervals known to hold data.
+    pub fn verify_env(&self) -> VerifyEnv {
+        VerifyEnv {
+            allocated_words_per_bank: self.srf.bank_words() - self.srf.free_words(),
+            filled: self.filled.clone(),
+        }
+    }
+
+    /// Run the installed verifier on `program` now, regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns every diagnostic the verifier produced. `Ok` when no
+    /// verifier is installed or the program is clean.
+    pub fn verify_program(&self, program: &StreamProgram) -> Result<(), VerifyError> {
+        let Some(v) = &self.verifier else {
+            return Ok(());
+        };
+        let diagnostics = v.verify(&self.cfg, &self.verify_env(), program);
+        if diagnostics.is_empty() {
+            Ok(())
+        } else {
+            Err(VerifyError { diagnostics })
+        }
+    }
+
+    /// Record that the per-bank interval `[lo, hi)` now holds data,
+    /// keeping `filled` sorted and disjoint.
+    fn add_fill(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        self.filled.push((lo, hi));
+        self.filled.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.filled.len());
+        for &(s, e) in &self.filled {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.filled = merged;
+    }
+
+    /// Record the SRF intervals a completed `program` wrote: load/gather
+    /// destinations and every output binding of each kernel.
+    fn note_program_fills(&mut self, program: &StreamProgram) {
+        use isrf_kernel::ir::StreamKind;
+        let mut ranges: Vec<crate::srf::SrfRange> = Vec::new();
+        for node in &program.nodes {
+            match &node.op {
+                ProgOp::Load { dst, .. } | ProgOp::GatherDyn { dst, .. } => {
+                    ranges.push(dst.range);
+                }
+                ProgOp::Kernel {
+                    kernel, bindings, ..
+                } => {
+                    for (decl, b) in kernel.streams.iter().zip(bindings) {
+                        if matches!(
+                            decl.kind,
+                            StreamKind::SeqOut | StreamKind::CondOut | StreamKind::IdxInWrite
+                        ) {
+                            ranges.push(b.range);
+                        }
+                    }
+                }
+                ProgOp::Store { .. } | ProgOp::ScatterDyn { .. } => {}
+            }
+        }
+        for r in ranges {
+            self.add_fill(r.base, r.base + r.words_per_bank);
+        }
     }
 
     /// Read a stream's content out of the SRF (for checking results).
@@ -199,6 +304,7 @@ impl Machine {
             self.srf
                 .write_stream_word(b.range, b.record_words, b.stream_word(k as u32), v);
         }
+        self.add_fill(b.range.base, b.range.base + b.range.words_per_bank);
     }
 
     /// Record a live transfer in the slot-indexed pending table.
@@ -302,11 +408,38 @@ impl Machine {
 
     /// Execute `program` to completion; returns the stats for this run.
     ///
+    /// When a verifier is installed and the policy is active,
+    /// verification failures panic with the full diagnostic list — use
+    /// [`Machine::run_checked`] to get them as a typed error instead.
+    ///
     /// # Panics
     ///
     /// Panics if the program deadlocks (circular dependences) — programs
-    /// built with [`StreamProgram`]'s checked constructors cannot.
+    /// built with [`StreamProgram`]'s checked constructors cannot — or
+    /// fails verification.
     pub fn run(&mut self, program: &StreamProgram) -> RunStats {
+        self.run_checked(program).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Machine::run`], but verification failures come back as a
+    /// typed [`VerifyError`] instead of a panic. The verifier runs once,
+    /// before the first simulated cycle (per [`VerifyPolicy`]); simulation
+    /// itself is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The verifier's diagnostics, when the policy is active and the
+    /// program is not clean.
+    pub fn run_checked(&mut self, program: &StreamProgram) -> Result<RunStats, VerifyError> {
+        if self.verifier.is_some() && self.verify_policy.active() {
+            self.verify_program(program)?;
+        }
+        let stats = self.run_inner(program);
+        self.note_program_fills(program);
+        Ok(stats)
+    }
+
+    fn run_inner(&mut self, program: &StreamProgram) -> RunStats {
         let start_stats = self.stats;
         let mem_start = self.mem.traffic();
         let n = program.len();

@@ -1,0 +1,1139 @@
+//! Static hazard analyzer for ISRF stream programs.
+//!
+//! [`Verifier`] implements [`isrf_sim::ProgramVerifier`]: a dataflow
+//! analysis over a [`StreamProgram`] and the kernel bodies it invokes that
+//! proves, *before* a single cycle is simulated, that the program cannot
+//! trip the simulator's runtime hazards. Five check families:
+//!
+//! * **Liveness** ([`codes::UNFILLED_READ`], [`codes::UNALLOCATED_BINDING`])
+//!   — every stream a kernel or store reads is filled by a memory load, a
+//!   kernel output, or pre-existing SRF data on every path; no binding
+//!   targets SRF words the allocator never handed out.
+//! * **Allocation** ([`codes::BINDING_OVERFLOW`], [`codes::OVERLAP_HAZARD`],
+//!   [`codes::CAPACITY_EXCEEDED`]) — bindings fit their ranges, ranges fit
+//!   the bank, and no two *unordered* ops touch overlapping SRF words with
+//!   at least one writer.
+//! * **Indexed** ([`codes::INDEXED_ON_NON_INDEXED_CONFIG`],
+//!   [`codes::CROSS_LANE_WITHOUT_NETWORK`], [`codes::INDEX_OUT_OF_BOUNDS`])
+//!   — indexed streams only run on configurations with indexed-SRF
+//!   hardware, cross-lane streams only where the inter-lane index network
+//!   exists, and interval analysis over each kernel body flags index
+//!   expressions *provably* outside their stream's record range.
+//! * **Slack** ([`codes::INSUFFICIENT_SLACK`]) — every indexed data read is
+//!   scheduled at least the configured address→data separation after its
+//!   paired address issue.
+//! * **Deadlock** ([`codes::FIFO_DEADLOCK`]) — an event-driven replay of
+//!   the modulo schedule's address pushes and data pops proves the address
+//!   FIFO + stream buffer can always drain; otherwise the exact blocked op
+//!   and kernel cycle are reported.
+//!
+//! Diagnostics carry `.isrf` source lines whenever the kernel was compiled
+//! from source (the `isrf-lang` lowering records a line per op), so a
+//! finding points at the offending statement, not just an IR index.
+//!
+//! The analysis is sound but necessarily incomplete: stream fills are
+//! tracked at range granularity, and index bounds are flagged only when
+//! *definitely* out of range (a data-dependent index that merely *might*
+//! overflow passes statically and is still caught by the simulator's
+//! runtime assertions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use isrf_core::config::MachineConfig;
+use isrf_kernel::ir::{Kernel, Op, Opcode, StreamKind};
+use isrf_kernel::sched::Schedule;
+use isrf_sim::program::{ProgOp, StreamProgram};
+use isrf_sim::stream::StreamBinding;
+use isrf_sim::verify::{Diagnostic, ProgramVerifier, VerifyEnv};
+
+/// Stable diagnostic codes, grouped by check family.
+pub mod codes {
+    /// A stream is read but never filled (liveness).
+    pub const UNFILLED_READ: &str = "V101";
+    /// A binding targets SRF words beyond what the allocator handed out.
+    pub const UNALLOCATED_BINDING: &str = "V102";
+    /// A binding's records do not fit inside its SRF range.
+    pub const BINDING_OVERFLOW: &str = "V103";
+    /// Two unordered ops touch overlapping SRF words, at least one writing.
+    pub const OVERLAP_HAZARD: &str = "V201";
+    /// An SRF range extends beyond the bank capacity.
+    pub const CAPACITY_EXCEEDED: &str = "V202";
+    /// An indexed stream on a configuration without indexed-SRF hardware.
+    pub const INDEXED_ON_NON_INDEXED_CONFIG: &str = "V301";
+    /// A cross-lane indexed stream where the index network is disabled.
+    pub const CROSS_LANE_WITHOUT_NETWORK: &str = "V302";
+    /// An index expression provably outside the stream's record range.
+    pub const INDEX_OUT_OF_BOUNDS: &str = "V303";
+    /// An indexed read scheduled closer to its address issue than the
+    /// configured address→data separation.
+    pub const INSUFFICIENT_SLACK: &str = "V401";
+    /// The address FIFO / stream buffer can wedge: the schedule demands
+    /// more outstanding records than the hardware can hold.
+    pub const FIFO_DEADLOCK: &str = "V501";
+}
+
+/// The five independent check families. Disabling one (for triage, or in
+/// the test suite to prove each check is load-bearing) drops exactly its
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// V101/V102: streams are filled before they are read and bindings
+    /// stay inside allocated SRF space.
+    Liveness,
+    /// V103/V201/V202: bindings fit ranges, ranges fit the bank, unordered
+    /// ops do not conflict.
+    Allocation,
+    /// V301/V302/V303: indexed streams match the hardware and index
+    /// expressions stay in bounds.
+    Indexed,
+    /// V401: address→data decoupling slack is respected.
+    Slack,
+    /// V501: address FIFOs cannot deadlock.
+    Deadlock,
+}
+
+impl Check {
+    /// All checks, in reporting order.
+    pub const ALL: [Check; 5] = [
+        Check::Liveness,
+        Check::Allocation,
+        Check::Indexed,
+        Check::Slack,
+        Check::Deadlock,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Check::Liveness => "liveness",
+            Check::Allocation => "allocation",
+            Check::Indexed => "indexed",
+            Check::Slack => "slack",
+            Check::Deadlock => "deadlock",
+        }
+    }
+
+    fn bit(self) -> usize {
+        match self {
+            Check::Liveness => 0,
+            Check::Allocation => 1,
+            Check::Indexed => 2,
+            Check::Slack => 3,
+            Check::Deadlock => 4,
+        }
+    }
+}
+
+/// The analyzer: all checks enabled by default.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    enabled: [bool; 5],
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::new()
+    }
+}
+
+impl Verifier {
+    /// A verifier with every check enabled.
+    pub fn new() -> Self {
+        Verifier { enabled: [true; 5] }
+    }
+
+    /// Disable one check family (builder-style).
+    pub fn without(mut self, check: Check) -> Self {
+        self.enabled[check.bit()] = false;
+        self
+    }
+
+    fn on(&self, check: Check) -> bool {
+        self.enabled[check.bit()]
+    }
+}
+
+impl ProgramVerifier for Verifier {
+    fn verify(
+        &self,
+        cfg: &MachineConfig,
+        env: &VerifyEnv,
+        program: &StreamProgram,
+    ) -> Vec<Diagnostic> {
+        let ctx = Analysis::new(cfg, env, program);
+        let mut out = Vec::new();
+        if self.on(Check::Liveness) {
+            ctx.check_liveness(&mut out);
+        }
+        if self.on(Check::Allocation) {
+            ctx.check_allocation(&mut out);
+        }
+        if self.on(Check::Indexed) {
+            ctx.check_indexed(&mut out);
+        }
+        if self.on(Check::Slack) {
+            ctx.check_slack(&mut out);
+        }
+        if self.on(Check::Deadlock) {
+            ctx.check_deadlock(&mut out);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared program model
+// ---------------------------------------------------------------------------
+
+/// One SRF access made by a program op: which binding, read or write, and a
+/// human label for diagnostics.
+struct Access {
+    prog_op: usize,
+    binding: StreamBinding,
+    write: bool,
+    indexed: bool,
+    label: String,
+}
+
+struct Analysis<'a> {
+    cfg: &'a MachineConfig,
+    env: &'a VerifyEnv,
+    program: &'a StreamProgram,
+    accesses: Vec<Access>,
+    /// `before[i]` is the bitset of ops that must complete before op `i`
+    /// starts: explicit dependences, transitively closed, plus the implicit
+    /// kernel→kernel program-order chain (the machine has one sequencer).
+    before: Vec<Vec<u64>>,
+}
+
+fn bit_get(row: &[u64], j: usize) -> bool {
+    row[j / 64] & (1 << (j % 64)) != 0
+}
+
+impl<'a> Analysis<'a> {
+    fn new(cfg: &'a MachineConfig, env: &'a VerifyEnv, program: &'a StreamProgram) -> Self {
+        let n = program.len();
+        let wlen = n.div_ceil(64).max(1);
+        let mut before: Vec<Vec<u64>> = Vec::with_capacity(n);
+        let mut last_kernel: Option<usize> = None;
+        for i in 0..n {
+            let (op, deps) = program.node(i);
+            let mut row = vec![0u64; wlen];
+            let mut preds: Vec<usize> = deps.iter().map(|d| d.index()).collect();
+            if let ProgOp::Kernel { .. } = op {
+                if let Some(k) = last_kernel {
+                    preds.push(k);
+                }
+                last_kernel = Some(i);
+            }
+            for j in preds {
+                row[j / 64] |= 1 << (j % 64);
+                for (w, b) in row.iter_mut().zip(&before[j]) {
+                    *w |= b;
+                }
+            }
+            before.push(row);
+        }
+
+        let mut accesses = Vec::new();
+        for i in 0..n {
+            let (op, _) = program.node(i);
+            let mut push = |binding: StreamBinding, write: bool, indexed: bool, label: String| {
+                accesses.push(Access {
+                    prog_op: i,
+                    binding,
+                    write,
+                    indexed,
+                    label,
+                });
+            };
+            match op {
+                ProgOp::Load { dst, .. } => {
+                    push(*dst, true, false, format!("load (op {i}) destination"));
+                }
+                ProgOp::Store { src, .. } => {
+                    push(*src, false, false, format!("store (op {i}) source"));
+                }
+                ProgOp::GatherDyn {
+                    index_stream, dst, ..
+                } => {
+                    push(
+                        *index_stream,
+                        false,
+                        false,
+                        format!("gather (op {i}) index stream"),
+                    );
+                    push(*dst, true, false, format!("gather (op {i}) destination"));
+                }
+                ProgOp::ScatterDyn {
+                    src, index_stream, ..
+                } => {
+                    push(*src, false, false, format!("scatter (op {i}) source"));
+                    push(
+                        *index_stream,
+                        false,
+                        false,
+                        format!("scatter (op {i}) index stream"),
+                    );
+                }
+                ProgOp::Kernel {
+                    kernel, bindings, ..
+                } => {
+                    for (decl, b) in kernel.streams.iter().zip(bindings) {
+                        let write = matches!(
+                            decl.kind,
+                            StreamKind::SeqOut | StreamKind::CondOut | StreamKind::IdxInWrite
+                        );
+                        push(
+                            *b,
+                            write,
+                            decl.kind.is_indexed(),
+                            format!("kernel `{}` stream `{}`", kernel.name, decl.name),
+                        );
+                    }
+                }
+            }
+        }
+
+        Analysis {
+            cfg,
+            env,
+            program,
+            accesses,
+            before,
+        }
+    }
+
+    fn bank_words(&self) -> u32 {
+        self.cfg.srf.bank_words(self.cfg.lanes) as u32
+    }
+
+    /// Per-bank `[lo, hi)` word interval an access can touch. Indexed
+    /// accesses may reach the whole range; sequential/conditional accesses
+    /// are bounded by the records the binding actually covers. `None` for
+    /// empty bindings.
+    fn footprint(&self, a: &Access) -> Option<(u32, u32)> {
+        let b = &a.binding;
+        if a.indexed {
+            return Some((b.range.base, b.range.base + b.range.words_per_bank));
+        }
+        if b.records == 0 || b.record_words == 0 {
+            return None;
+        }
+        let min_rec = b.absolute_record(0);
+        let max_rec = if b.stride_records == 0 {
+            // Periodic window: every run re-reads records start..start+run.
+            b.start_record + b.run_records.min(b.records) - 1
+        } else {
+            b.absolute_record(b.records - 1)
+        };
+        let lanes = self.cfg.lanes as u32;
+        let lo = b.range.base + (min_rec / lanes) * b.record_words;
+        let hi = b.range.base + (max_rec / lanes) * b.record_words + b.record_words;
+        Some((lo, hi))
+    }
+
+    /// The full SRF range of a binding — the granularity at which fills
+    /// are tracked (matching `Machine`'s fill bookkeeping).
+    fn range_interval(b: &StreamBinding) -> (u32, u32) {
+        (b.range.base, b.range.base + b.range.words_per_bank)
+    }
+
+    fn exceeds_bank(&self, b: &StreamBinding) -> bool {
+        b.range.base + b.range.words_per_bank > self.bank_words()
+    }
+
+    // -----------------------------------------------------------------------
+    // Liveness: V101 / V102
+    // -----------------------------------------------------------------------
+
+    fn check_liveness(&self, out: &mut Vec<Diagnostic>) {
+        let check = Check::Liveness.name();
+        for a in &self.accesses {
+            let (lo, hi) = Self::range_interval(&a.binding);
+            if self.exceeds_bank(&a.binding) {
+                continue; // V202's domain (allocation check)
+            }
+            if hi > self.env.allocated_words_per_bank {
+                out.push(Diagnostic {
+                    code: codes::UNALLOCATED_BINDING.into(),
+                    check: check.into(),
+                    message: format!(
+                        "{} is bound to SRF words [{lo}, {hi}) per bank, but only {} words \
+                         have been allocated",
+                        a.label, self.env.allocated_words_per_bank
+                    ),
+                    prog_op: Some(a.prog_op),
+                    kernel: None,
+                    kernel_op: None,
+                    line: None,
+                });
+                continue; // an unallocated stream is trivially also unfilled
+            }
+            if a.write {
+                continue;
+            }
+            // A read is satisfied by pre-existing data or by writes of ops
+            // ordered strictly before this one (a kernel's own outputs do
+            // NOT satisfy its own inputs — the hardware provides no such
+            // forwarding within an invocation).
+            let mut covered: Vec<(u32, u32)> = self.env.filled.clone();
+            for w in &self.accesses {
+                if w.write && bit_get(&self.before[a.prog_op], w.prog_op) {
+                    covered.push(Self::range_interval(&w.binding));
+                }
+            }
+            if !interval_covers(&mut covered, lo, hi) {
+                out.push(Diagnostic {
+                    code: codes::UNFILLED_READ.into(),
+                    check: check.into(),
+                    message: format!(
+                        "{} reads SRF words [{lo}, {hi}) per bank, but no memory load, \
+                         prior kernel output, or pre-existing data fills them",
+                        a.label
+                    ),
+                    prog_op: Some(a.prog_op),
+                    kernel: None,
+                    kernel_op: None,
+                    line: None,
+                });
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Allocation: V103 / V201 / V202
+    // -----------------------------------------------------------------------
+
+    fn check_allocation(&self, out: &mut Vec<Diagnostic>) {
+        let check = Check::Allocation.name();
+        for a in &self.accesses {
+            let b = &a.binding;
+            if self.exceeds_bank(b) {
+                let (lo, hi) = Self::range_interval(b);
+                out.push(Diagnostic {
+                    code: codes::CAPACITY_EXCEEDED.into(),
+                    check: check.into(),
+                    message: format!(
+                        "{} is bound to SRF words [{lo}, {hi}) per bank, beyond the bank \
+                         capacity of {} words",
+                        a.label,
+                        self.bank_words()
+                    ),
+                    prog_op: Some(a.prog_op),
+                    kernel: None,
+                    kernel_op: None,
+                    line: None,
+                });
+                continue;
+            }
+            // Record extent must fit the range (indexed bindings use their
+            // declared addressable record count).
+            if b.records > 0 && b.record_words > 0 {
+                let max_rec = if !a.indexed && b.stride_records == 0 {
+                    b.start_record + b.run_records.min(b.records) - 1
+                } else {
+                    b.absolute_record(b.records - 1)
+                };
+                let lanes = self.cfg.lanes as u32;
+                let need = (max_rec / lanes) * b.record_words + b.record_words;
+                if need > b.range.words_per_bank {
+                    out.push(Diagnostic {
+                        code: codes::BINDING_OVERFLOW.into(),
+                        check: check.into(),
+                        message: format!(
+                            "{} needs {need} words per bank for its {} records of {} \
+                             word(s), but its range holds only {}",
+                            a.label, b.records, b.record_words, b.range.words_per_bank
+                        ),
+                        prog_op: Some(a.prog_op),
+                        kernel: None,
+                        kernel_op: None,
+                        line: None,
+                    });
+                }
+            }
+        }
+
+        // Unordered-pair conflicts. Ops are topologically ordered, so for
+        // i < j it suffices that i is not in before[j].
+        for j in 0..self.program.len() {
+            for i in 0..j {
+                if bit_get(&self.before[j], i) {
+                    continue;
+                }
+                // Memory ops snapshot their SRF sources at issue, and ready
+                // memory ops issue before the same cycle's kernel dispatch.
+                // So a WAR pair — memory op `i` reading what a later kernel
+                // `j` overwrites — is benign when everything `i` waits on
+                // is also ordered before `j`: the snapshot then provably
+                // precedes the kernel's first write. (Double-buffered strip
+                // mining relies on exactly this.)
+                let war_exempt = {
+                    let (op_i, deps_i) = self.program.node(i);
+                    let (op_j, _) = self.program.node(j);
+                    !matches!(op_i, ProgOp::Kernel { .. })
+                        && matches!(op_j, ProgOp::Kernel { .. })
+                        && deps_i.iter().all(|d| bit_get(&self.before[j], d.index()))
+                };
+                let conflict = self
+                    .accesses
+                    .iter()
+                    .filter(|a| a.prog_op == i)
+                    .find_map(|a| {
+                        self.accesses
+                            .iter()
+                            .filter(|b| b.prog_op == j)
+                            .find(|b| {
+                                // Conflict when `i` writes, or `j` writes
+                                // and the snapshot exemption does not cover
+                                // this read of `i`.
+                                (a.write || (b.write && !war_exempt))
+                                    && match (self.footprint(a), self.footprint(b)) {
+                                        (Some((al, ah)), Some((bl, bh))) => al < bh && bl < ah,
+                                        _ => false,
+                                    }
+                            })
+                            .map(|b| (a, b))
+                    });
+                if let Some((a, b)) = conflict {
+                    let (al, ah) = self.footprint(a).expect("checked");
+                    let (bl, bh) = self.footprint(b).expect("checked");
+                    let (lo, hi) = (al.max(bl), ah.min(bh));
+                    out.push(Diagnostic {
+                        code: codes::OVERLAP_HAZARD.into(),
+                        check: check.into(),
+                        message: format!(
+                            "{} and {} touch overlapping SRF words [{lo}, {hi}) per bank \
+                             with no ordering dependence between ops {i} and {j}",
+                            a.label, b.label
+                        ),
+                        prog_op: Some(j),
+                        kernel: None,
+                        kernel_op: None,
+                        line: None,
+                    });
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Indexed: V301 / V302 / V303
+    // -----------------------------------------------------------------------
+
+    fn check_indexed(&self, out: &mut Vec<Diagnostic>) {
+        let check = Check::Indexed.name();
+        for i in 0..self.program.len() {
+            let (op, _) = self.program.node(i);
+            let ProgOp::Kernel {
+                kernel,
+                bindings,
+                iters,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            let Some(idx_cfg) = &self.cfg.srf.indexed else {
+                // No indexed hardware: one finding per indexed stream slot.
+                for (slot, decl) in kernel.streams.iter().enumerate() {
+                    if decl.kind.is_indexed() {
+                        let kop = kernel
+                            .ops
+                            .iter()
+                            .position(|o| o.opcode.stream().map(|s| s.0 as usize) == Some(slot));
+                        out.push(kdiag(
+                            codes::INDEXED_ON_NON_INDEXED_CONFIG,
+                            check,
+                            i,
+                            kernel,
+                            kop,
+                            format!(
+                                "kernel `{}` declares indexed stream `{}`, but configuration \
+                                 `{:?}` has no indexed-SRF hardware",
+                                kernel.name, decl.name, self.cfg.name
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            };
+            for (slot, decl) in kernel.streams.iter().enumerate() {
+                if decl.kind.is_cross_lane() && !idx_cfg.crosslane {
+                    let kop = kernel
+                        .ops
+                        .iter()
+                        .position(|o| o.opcode.stream().map(|s| s.0 as usize) == Some(slot));
+                    out.push(kdiag(
+                        codes::CROSS_LANE_WITHOUT_NETWORK,
+                        check,
+                        i,
+                        kernel,
+                        kop,
+                        format!(
+                            "kernel `{}` declares cross-lane indexed stream `{}`, but the \
+                             configuration's cross-lane index network is disabled",
+                            kernel.name, decl.name
+                        ),
+                    ));
+                }
+            }
+
+            // Interval analysis over the kernel body: flag indices that are
+            // *provably* outside the addressable records of their binding.
+            let vals = eval_intervals(kernel, *iters, self.cfg.lanes as i64);
+            for (kop, op) in kernel.ops.iter().enumerate() {
+                let (slot, iv) = match op.opcode {
+                    Opcode::IdxAddr(s) => (s, vals[kop]),
+                    Opcode::IdxWrite(s) => (s, operand_interval(&vals, op, 0)),
+                    _ => continue,
+                };
+                let Some(iv) = iv else { continue };
+                let b = &bindings[slot.0 as usize];
+                if b.record_words == 0 {
+                    continue;
+                }
+                let per_lane = (b.range.words_per_bank / b.record_words) as i64;
+                let max_valid = if kernel.stream(slot).kind.is_cross_lane() {
+                    self.cfg.lanes as i64 * per_lane - 1
+                } else {
+                    per_lane - 1
+                };
+                if iv.lo > max_valid || iv.hi < 0 {
+                    out.push(kdiag(
+                        codes::INDEX_OUT_OF_BOUNDS,
+                        check,
+                        i,
+                        kernel,
+                        Some(kop),
+                        format!(
+                            "index into stream `{}` is provably out of bounds: value in \
+                             [{}, {}] but valid records are 0..={max_valid}",
+                            kernel.stream(slot).name,
+                            iv.lo,
+                            iv.hi
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Slack: V401
+    // -----------------------------------------------------------------------
+
+    fn check_slack(&self, out: &mut Vec<Diagnostic>) {
+        let check = Check::Slack.name();
+        if !self.cfg.has_indexed_srf() {
+            return; // V301 already rejects indexed kernels here
+        }
+        for i in 0..self.program.len() {
+            let (op, _) = self.program.node(i);
+            let ProgOp::Kernel {
+                kernel, schedule, ..
+            } = op
+            else {
+                continue;
+            };
+            for (kop, op) in kernel.ops.iter().enumerate() {
+                let Opcode::IdxRead(slot) = op.opcode else {
+                    continue;
+                };
+                let addr = op.operands[0].value.index();
+                let sep = if kernel.stream(slot).kind.is_cross_lane() {
+                    self.cfg.sched.crosslane_addr_data_separation
+                } else {
+                    self.cfg.sched.inlane_addr_data_separation
+                };
+                let (sa, sr) = (schedule.slots[addr], schedule.slots[kop]);
+                if sr < sa + sep {
+                    out.push(kdiag(
+                        codes::INSUFFICIENT_SLACK,
+                        check,
+                        i,
+                        kernel,
+                        Some(kop),
+                        format!(
+                            "indexed read of stream `{}` is scheduled at cycle {sr}, only \
+                             {} cycle(s) after its address issue at cycle {sa}; the \
+                             configuration requires {sep}",
+                            kernel.stream(slot).name,
+                            sr - sa
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Deadlock: V501
+    // -----------------------------------------------------------------------
+
+    /// Replays the modulo schedule's address pushes and data pops for each
+    /// indexed *read* stream and proves the all-or-nothing issue group can
+    /// always make progress. The hardware wedges when, at some kernel cycle,
+    /// the group's pops outrun the words the FIFO + buffer can ever deliver,
+    /// or its pushes cannot fit even after the buffer drains as far as the
+    /// already-popped words allow. Writes drain unconditionally (no buffer
+    /// reservation), so write-only streams cannot wedge.
+    fn check_deadlock(&self, out: &mut Vec<Diagnostic>) {
+        let Some(idx_cfg) = &self.cfg.srf.indexed else {
+            return;
+        };
+        let fifo_cap = idx_cfg.addr_fifo_entries as u64;
+        let buf_cap = self.cfg.srf.stream_buffer_words as u64;
+        for i in 0..self.program.len() {
+            let (op, _) = self.program.node(i);
+            let ProgOp::Kernel {
+                kernel,
+                schedule,
+                bindings,
+                iters,
+            } = op
+            else {
+                continue;
+            };
+            for (slot, decl) in kernel.streams.iter().enumerate() {
+                if !decl.kind.is_indexed() || decl.kind == StreamKind::IdxInWrite {
+                    continue;
+                }
+                let rw = bindings[slot].record_words.max(1) as u64;
+                let slot = isrf_kernel::ir::StreamSlot(slot as u8);
+                if let Some(d) =
+                    deadlock_for_stream(kernel, schedule, slot, rw, *iters, (fifo_cap, buf_cap), i)
+                {
+                    out.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// Build a kernel-scoped diagnostic, resolving the source line when known.
+fn kdiag(
+    code: &str,
+    check: &str,
+    prog_op: usize,
+    kernel: &Kernel,
+    kernel_op: Option<usize>,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        code: code.into(),
+        check: check.into(),
+        message,
+        prog_op: Some(prog_op),
+        kernel: Some(kernel.name.clone()),
+        kernel_op,
+        line: kernel_op.and_then(|i| kernel.source_line(i)),
+    }
+}
+
+/// Does the union of `intervals` cover `[lo, hi)`? Sorts in place.
+fn interval_covers(intervals: &mut [(u32, u32)], lo: u32, hi: u32) -> bool {
+    if lo >= hi {
+        return true;
+    }
+    intervals.sort_unstable();
+    let mut need = lo;
+    for &(s, e) in intervals.iter() {
+        if s > need {
+            return false;
+        }
+        if e > need {
+            need = e;
+            if need >= hi {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// V501: address-FIFO deadlock detection
+// ---------------------------------------------------------------------------
+
+fn deadlock_for_stream(
+    kernel: &Kernel,
+    schedule: &Schedule,
+    slot: isrf_kernel::ir::StreamSlot,
+    rw: u64,
+    iters: u64,
+    (fifo_cap, buf_cap): (u64, u64),
+    prog_op: usize,
+) -> Option<Diagnostic> {
+    let check = Check::Deadlock.name();
+    let addr_ops = kernel.stream_addr_ops(slot);
+    let data_ops = kernel.stream_data_ops(slot);
+    if addr_ops.is_empty() || data_ops.is_empty() {
+        return None;
+    }
+
+    // Simulate enough iterations for the FIFO/buffer interplay to reach
+    // steady state: every op repeats at its slot + j*II, so occupancy is
+    // eventually periodic with period II; a window comfortably larger than
+    // the capacities plus the pipeline depth suffices.
+    let window = fifo_cap + buf_cap + 2 * schedule.stages() as u64 + 8;
+    let sim_iters = iters.min(window);
+    let mut events: Vec<(u64, usize, bool)> = Vec::new();
+    for j in 0..sim_iters {
+        for &a in &addr_ops {
+            events.push((schedule.slots[a] as u64 + j * schedule.ii as u64, a, true));
+        }
+        for &r in &data_ops {
+            events.push((schedule.slots[r] as u64 + j * schedule.ii as u64, r, false));
+        }
+    }
+    events.sort_unstable();
+
+    // `pushed` counts records queued, `popped` counts words consumed, both
+    // *before* the current cycle (the issue group is all-or-nothing with
+    // pre-cycle state: same-cycle pushes cannot feed same-cycle pops).
+    let mut pushed: u64 = 0;
+    let mut popped: u64 = 0;
+    let mut k = 0;
+    while k < events.len() {
+        let t = events[k].0;
+        let mut pushes_at = 0u64;
+        let mut pops_at = 0u64;
+        let mut first_push = None;
+        let mut first_pop = None;
+        while k < events.len() && events[k].0 == t {
+            let (_, op, is_push) = events[k];
+            if is_push {
+                pushes_at += 1;
+                first_push.get_or_insert(op);
+            } else {
+                pops_at += 1;
+                first_pop.get_or_insert(op);
+            }
+            k += 1;
+        }
+        // Words the hardware can ever deliver while the cluster is stalled
+        // at cycle `t`: everything pushed so far, bounded by the buffer
+        // (popped words free buffer space; stalled pops do not).
+        let deliverable = (pushed * rw).min(popped + buf_cap);
+        if popped + pops_at > deliverable {
+            let op = first_pop.expect("pops_at > 0");
+            return Some(kdiag(
+                codes::FIFO_DEADLOCK,
+                check,
+                prog_op,
+                kernel,
+                Some(op),
+                format!(
+                    "indexed stream `{}` deadlocks at kernel cycle {t}: the schedule pops \
+                     word {} but at most {deliverable} can ever arrive ({pushed} record(s) \
+                     pushed, stream buffer holds {buf_cap} words)",
+                    kernel.stream(slot).name,
+                    popped + pops_at,
+                ),
+            ));
+        }
+        // Records the FIFO can shed while stalled: limited by the words the
+        // buffer can absorb beyond what was already popped.
+        let drainable = pushed.min((popped + buf_cap) / rw);
+        if pushed - drainable + pushes_at > fifo_cap {
+            let op = first_push.expect("pushes_at > 0");
+            return Some(kdiag(
+                codes::FIFO_DEADLOCK,
+                check,
+                prog_op,
+                kernel,
+                Some(op),
+                format!(
+                    "indexed stream `{}` deadlocks at kernel cycle {t}: {} record(s) would \
+                     be outstanding but the address FIFO holds {fifo_cap} and the stream \
+                     buffer {buf_cap} words ({} word(s) per record)",
+                    kernel.stream(slot).name,
+                    pushed - drainable + pushes_at,
+                    rw
+                ),
+            ));
+        }
+        pushed += pushes_at;
+        popped += pops_at;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// V303: interval analysis over kernel bodies
+// ---------------------------------------------------------------------------
+
+/// A closed interval over `i64` (wide enough to hold any `i32` arithmetic
+/// result exactly before clamping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: i64,
+    hi: i64,
+}
+
+/// Abstract value: `None` is ⊤ (unknown).
+type AbsVal = Option<Iv>;
+
+const I32_MIN: i64 = i32::MIN as i64;
+const I32_MAX: i64 = i32::MAX as i64;
+
+fn iv(lo: i64, hi: i64) -> AbsVal {
+    // Anything escaping i32 range may wrap at runtime: give up rather than
+    // model modular arithmetic.
+    if lo < I32_MIN || hi > I32_MAX || lo > hi {
+        None
+    } else {
+        Some(Iv { lo, hi })
+    }
+}
+
+fn exact(v: i64) -> AbsVal {
+    iv(v, v)
+}
+
+fn union(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a, b) {
+        (Some(a), Some(b)) => iv(a.lo.min(b.lo), a.hi.max(b.hi)),
+        _ => None,
+    }
+}
+
+fn lift2(a: AbsVal, b: AbsVal, f: impl Fn(Iv, Iv) -> AbsVal) -> AbsVal {
+    match (a, b) {
+        (Some(a), Some(b)) => f(a, b),
+        _ => None,
+    }
+}
+
+fn const_of(v: AbsVal) -> Option<i64> {
+    v.filter(|i| i.lo == i.hi).map(|i| i.lo)
+}
+
+fn operand_interval(vals: &[AbsVal], op: &Op, k: usize) -> AbsVal {
+    let o = &op.operands[k];
+    if o.distance > 0 {
+        // Loop-carried: the value from a previous iteration, or `init` on
+        // early iterations. The producer's interval still bounds it, but
+        // `init` must be included too.
+        return union(vals[o.value.index()], exact(o.init as i32 as i64));
+    }
+    vals[o.value.index()]
+}
+
+/// Forward interval analysis over a kernel body (ops are in dependence
+/// order, so one pass suffices; loop-carried operands fold in the
+/// producer's final interval, which is sound because intervals here never
+/// depend on the iteration count except through `IterId`).
+fn eval_intervals(kernel: &Kernel, iters: u64, lanes: i64) -> Vec<AbsVal> {
+    let mut vals: Vec<AbsVal> = Vec::with_capacity(kernel.ops.len());
+    // Two passes: loop-carried operands may reference *later* ops, whose
+    // interval is unknown on the first pass (treated as ⊤, which is sound);
+    // the second pass tightens with every producer computed.
+    for pass in 0..2 {
+        for (i, op) in kernel.ops.iter().enumerate() {
+            let get = |k: usize| -> AbsVal {
+                let o = &op.operands[k];
+                let produced = if o.distance == 0 || pass > 0 || o.value.index() < i {
+                    *vals.get(o.value.index()).unwrap_or(&None)
+                } else {
+                    None
+                };
+                if o.distance > 0 {
+                    union(produced, exact(o.init as i32 as i64))
+                } else {
+                    produced
+                }
+            };
+            use Opcode::*;
+            let v = match op.opcode {
+                Const(w) => exact(w as i32 as i64),
+                LaneId => iv(0, lanes - 1),
+                LaneCount => exact(lanes),
+                IterId => iv(0, (iters.saturating_sub(1)).min(I32_MAX as u64) as i64),
+                Mov => get(0),
+                Neg => get(0).and_then(|a| iv(-a.hi, -a.lo)),
+                Not => get(0).and_then(|a| iv(-a.hi - 1, -a.lo - 1)),
+                Add => lift2(get(0), get(1), |a, b| iv(a.lo + b.lo, a.hi + b.hi)),
+                Sub => lift2(get(0), get(1), |a, b| iv(a.lo - b.hi, a.hi - b.lo)),
+                Mul => lift2(get(0), get(1), |a, b| {
+                    let p = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+                    iv(*p.iter().min().expect("4"), *p.iter().max().expect("4"))
+                }),
+                Div => lift2(get(0), get(1), |a, b| {
+                    // Only the easy, common case: positive constant divisor.
+                    match const_of(Some(b)) {
+                        Some(d) if d > 0 => iv(a.lo.div_euclid(d).min(a.lo / d), a.hi / d),
+                        _ => None,
+                    }
+                }),
+                Rem => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
+                    Some(d) if d > 0 && a.lo >= 0 => iv(0, (d - 1).min(a.hi)),
+                    _ => None,
+                }),
+                And => {
+                    // Masking with a non-negative value bounds the result
+                    // even when the other operand is completely unknown.
+                    let nonneg = |v: AbsVal| v.filter(|i| i.lo >= 0).map(|i| i.hi);
+                    match (nonneg(get(0)), nonneg(get(1))) {
+                        (Some(a), Some(b)) => iv(0, a.min(b)),
+                        (Some(a), None) => iv(0, a),
+                        (None, Some(b)) => iv(0, b),
+                        (None, None) => None,
+                    }
+                }
+                Or => lift2(get(0), get(1), |a, b| {
+                    if a.lo >= 0 && b.lo >= 0 {
+                        // OR cannot clear bits: at least max(lo); cannot set
+                        // bits above the highest set bit of either hi.
+                        let bits = 64 - (a.hi.max(b.hi) as u64).leading_zeros();
+                        iv(a.lo.max(b.lo), (1i64 << bits) - 1)
+                    } else {
+                        None
+                    }
+                }),
+                Xor => lift2(get(0), get(1), |a, b| {
+                    if a.lo >= 0 && b.lo >= 0 {
+                        let bits = 64 - (a.hi.max(b.hi) as u64).leading_zeros();
+                        iv(0, (1i64 << bits) - 1)
+                    } else {
+                        None
+                    }
+                }),
+                Shl => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
+                    Some(s) if (0..32).contains(&s) => iv(a.lo << s, a.hi << s),
+                    _ => None,
+                }),
+                Shr => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
+                    // Logical shift: only safe on non-negative values.
+                    Some(s) if (0..32).contains(&s) && a.lo >= 0 => iv(a.lo >> s, a.hi >> s),
+                    _ => None,
+                }),
+                Sra => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
+                    Some(s) if (0..32).contains(&s) => iv(a.lo >> s, a.hi >> s),
+                    _ => None,
+                }),
+                Lt | Le | Eq | Ne | ULt | FLt | FLe | FEq => iv(0, 1),
+                Min => lift2(get(0), get(1), |a, b| iv(a.lo.min(b.lo), a.hi.min(b.hi))),
+                Max => lift2(get(0), get(1), |a, b| iv(a.lo.max(b.lo), a.hi.max(b.hi))),
+                Select => union(get(1), get(2)),
+                // The address token of IdxAddr *is* the index value.
+                IdxAddr(_) => get(0),
+                // Everything data-dependent, floating point, or cross-lane.
+                FNeg
+                | IToF
+                | FToI
+                | FAdd
+                | FSub
+                | FMul
+                | FDiv
+                | FMin
+                | FMax
+                | SeqRead(_)
+                | SeqWrite(_)
+                | CondRead(_)
+                | CondLaneRead(_)
+                | CondWrite(_)
+                | IdxRead(_)
+                | IdxWrite(_)
+                | ScratchRead
+                | ScratchWrite
+                | Comm { .. }
+                | CommXor { .. } => None,
+            };
+            if pass == 0 {
+                vals.push(v);
+            } else {
+                vals[i] = v;
+            }
+        }
+    }
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrf_kernel::ir::{KernelBuilder, StreamKind};
+
+    fn intervals_of(build: impl FnOnce(&mut KernelBuilder)) -> Vec<AbsVal> {
+        let mut b = KernelBuilder::new("t");
+        build(&mut b);
+        let k = b.build().expect("valid kernel");
+        eval_intervals(&k, 100, 8)
+    }
+
+    #[test]
+    fn interval_masking_bounds_index() {
+        // (x & 63) is in [0, 63] even when x is unknown.
+        let vals = intervals_of(|b| {
+            let s = b.stream("in", StreamKind::SeqIn);
+            let o = b.stream("out", StreamKind::SeqOut);
+            let x = b.seq_read(s);
+            let m = b.constant(63);
+            let i = b.push(Opcode::And, vec![x.into(), m.into()]);
+            b.seq_write(o, i);
+        });
+        assert_eq!(vals[2], iv(0, 63));
+    }
+
+    #[test]
+    fn interval_arith_and_compare() {
+        let vals = intervals_of(|b| {
+            let o = b.stream("out", StreamKind::SeqOut);
+            let c = b.constant(10);
+            let l = b.lane_id(); // [0, 7]
+            let s = b.push(Opcode::Add, vec![c.into(), l.into()]); // [10, 17]
+            let m = b.push(Opcode::Mul, vec![s.into(), s.into()]); // [100, 289]
+            let d = b.push(Opcode::Sub, vec![m.into(), c.into()]); // [90, 279]
+            let q = b.push(Opcode::Lt, vec![d.into(), c.into()]); // [0, 1]
+            b.seq_write(o, q);
+        });
+        assert_eq!(vals[2], iv(10, 17));
+        assert_eq!(vals[3], iv(100, 289));
+        assert_eq!(vals[4], iv(90, 279));
+        assert_eq!(vals[5], iv(0, 1));
+    }
+
+    #[test]
+    fn interval_stream_reads_are_top() {
+        let vals = intervals_of(|b| {
+            let s = b.stream("in", StreamKind::SeqIn);
+            let o = b.stream("out", StreamKind::SeqOut);
+            let x = b.seq_read(s);
+            b.seq_write(o, x);
+        });
+        assert_eq!(vals[0], None);
+    }
+
+    #[test]
+    fn interval_carried_operand_includes_init() {
+        // acc = acc<1> + 1 with init 5: producer interval is ⊤-free but the
+        // union with init keeps 5 inside.
+        let vals = intervals_of(|b| {
+            let o = b.stream("out", StreamKind::SeqOut);
+            let one = b.constant(1);
+            let acc = b.push(
+                Opcode::Add,
+                vec![
+                    isrf_kernel::ir::Operand::carried(isrf_kernel::ir::ValueId(1), 1, 5),
+                    one.into(),
+                ],
+            );
+            b.seq_write(o, acc);
+        });
+        // Self-referential sums are unbounded: must be ⊤, not a wrong bound.
+        assert_eq!(vals[1], None);
+    }
+
+    #[test]
+    fn interval_covers_checks_gaps() {
+        let mut iv1 = vec![(0u32, 10u32), (20, 30)];
+        assert!(interval_covers(&mut iv1.clone(), 0, 10));
+        assert!(interval_covers(&mut iv1.clone(), 25, 30));
+        assert!(!interval_covers(&mut iv1, 5, 25));
+        let mut iv2 = vec![(10, 20), (0, 12)];
+        assert!(interval_covers(&mut iv2, 0, 20), "unsorted overlapping");
+    }
+}
