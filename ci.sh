@@ -3,7 +3,7 @@
 #
 #   ./ci.sh           tier-1 gate only
 #   ./ci.sh --check   tier-1 gate, then the perf basket in regression-check
-#                     mode: fails if simulator throughput drops >15% below
+#                     mode: fails if simulator throughput drops >25% below
 #                     the committed results/BENCH_perf.json baseline (see
 #                     EXPERIMENTS.md, "Performance"). The fresh measurement
 #                     is written to results/BENCH_perf.current.json as the
@@ -71,6 +71,13 @@ else
   ./target/release/trace --validate "$smoke_json"
 fi
 
+echo "==> engine differential (tape vs interpreter)"
+# The compiled-tape engine must be unobservable next to the graph-walking
+# interpreter: identical stats, word-for-word identical trace streams, and
+# identical output memory on a conditional-stream point (sort ISRF4) and
+# an indexed-landing point (filter Base).
+./target/release/engines
+
 if [[ "$miri" == 1 ]]; then
   echo "==> cargo miri test (foundation crates)"
   cargo miri test -q -p isrf-core -p isrf-sram
@@ -79,7 +86,7 @@ fi
 if [[ "$perf_check" == 1 ]]; then
   echo "==> perf basket (--check against committed baseline)"
   ./target/release/perf --check results/BENCH_perf.json \
-    --out results/BENCH_perf.current.json --runs 3
+    --out results/BENCH_perf.current.json --runs 5
 fi
 
 echo "CI OK"

@@ -1,6 +1,6 @@
 //! `perf`: run the simulator-throughput basket and write
 //! `results/BENCH_perf.json`, or check a fresh run against the committed
-//! baseline (`--check`), failing on a >15% sim-cycles/sec regression.
+//! baseline (`--check`), failing on a >25% sim-cycles/sec regression.
 //!
 //! ```text
 //! perf [--out PATH] [--paper] [--runs N]        measure and write JSON
@@ -13,7 +13,9 @@
 
 use std::process::ExitCode;
 
-use isrf_bench::perf::{baseline_cycles_per_sec, perf_basket, perf_json, REGRESSION_BUDGET};
+use isrf_bench::perf::{
+    baseline_cycles_per_sec, baseline_entries, perf_basket, perf_json, REGRESSION_BUDGET,
+};
 use isrf_bench::Profile;
 
 fn main() -> ExitCode {
@@ -110,6 +112,46 @@ fn main() -> ExitCode {
                 REGRESSION_BUDGET * 100.0
             );
             if now < floor {
+                // Per-entry delta table: which points slowed down, and
+                // whether any cycle count drifted from the baseline
+                // (a correctness smell, not just a perf one).
+                let base_by_name: std::collections::BTreeMap<String, (u64, f64)> =
+                    baseline_entries(&doc)
+                        .into_iter()
+                        .map(|(n, c, r)| (n, (c, r)))
+                        .collect();
+                eprintln!(
+                    "{:<24} {:>12} {:>14} {:>14} {:>8}",
+                    "point", "cycles", "base cyc/s", "now cyc/s", "delta"
+                );
+                for e in &report.entries {
+                    match base_by_name.get(&e.name) {
+                        Some(&(bc, bcps)) => {
+                            let delta = (e.cycles_per_sec() / bcps - 1.0) * 100.0;
+                            let drift = if bc != e.cycles {
+                                format!("  CYCLES DRIFTED (baseline {bc})")
+                            } else {
+                                String::new()
+                            };
+                            eprintln!(
+                                "{:<24} {:>12} {:>14.0} {:>14.0} {:>+7.1}%{drift}",
+                                e.name,
+                                e.cycles,
+                                bcps,
+                                e.cycles_per_sec(),
+                                delta
+                            );
+                        }
+                        None => eprintln!(
+                            "{:<24} {:>12} {:>14} {:>14.0} {:>8}",
+                            e.name,
+                            e.cycles,
+                            "(new)",
+                            e.cycles_per_sec(),
+                            "-"
+                        ),
+                    }
+                }
                 eprintln!(
                     "perf --check FAILED: throughput regressed {:.1}% (budget is {:.0}%)",
                     (1.0 - now / base) * 100.0,

@@ -7,7 +7,7 @@
 //! cycle-loop cost) and the parallel Figure 12 sweep (the end-to-end
 //! sweep throughput the ROADMAP cares about). `perf` writes the results
 //! to `results/BENCH_perf.json`; `ci.sh --check` compares a fresh run
-//! against that committed baseline and fails on a >15% sim-cycles/sec
+//! against that committed baseline and fails on a >25% sim-cycles/sec
 //! regression (see EXPERIMENTS.md, "Performance").
 
 use std::sync::Arc;
@@ -22,7 +22,7 @@ use isrf_sim::program::StreamProgram;
 use crate::{fig12, json_f64, json_str, json_u64, prepare_app, Profile, DIFF_APPS};
 
 /// The fraction of baseline sim-cycles/sec below which `--check` fails.
-pub const REGRESSION_BUDGET: f64 = 0.85;
+pub const REGRESSION_BUDGET: f64 = 0.75;
 
 /// One timed point of the perf basket.
 #[derive(Debug, Clone)]
@@ -239,7 +239,30 @@ pub fn perf_json(r: &PerfReport) -> String {
 /// written by [`perf_json`]. Returns `None` when the field is missing or
 /// malformed — callers should treat that as "no usable baseline".
 pub fn baseline_cycles_per_sec(json: &str) -> Option<f64> {
-    let key = "\"basket_cycles_per_sec\":";
+    num_after(json, "\"basket_cycles_per_sec\":")
+}
+
+/// Extract `(name, cycles, cycles_per_sec)` for every entry of a baseline
+/// document written by [`perf_json`], so a failed regression check can
+/// print a per-entry delta table. Malformed entries are skipped.
+pub fn baseline_entries(json: &str) -> Vec<(String, u64, f64)> {
+    let Some(at) = json.find("\"entries\"") else {
+        return Vec::new();
+    };
+    json[at..]
+        .split('{')
+        .skip(1)
+        .filter_map(|seg| {
+            let name = str_after(seg, "\"name\":")?;
+            let cycles = num_after(seg, "\"cycles\":")? as u64;
+            let cps = num_after(seg, "\"cycles_per_sec\":")?;
+            Some((name, cycles, cps))
+        })
+        .collect()
+}
+
+/// The JSON number following `key`, if present and well-formed.
+fn num_after(json: &str, key: &str) -> Option<f64> {
     let at = json.find(key)? + key.len();
     let rest = json[at..].trim_start();
     let end = rest
@@ -248,6 +271,14 @@ pub fn baseline_cycles_per_sec(json: &str) -> Option<f64> {
         })
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// The JSON string following `key` (no escape handling — [`perf_json`]
+/// never emits escapes in entry names).
+fn str_after(json: &str, key: &str) -> Option<String> {
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 #[cfg(test)]
@@ -286,5 +317,13 @@ mod tests {
         assert!((got - report.basket_cycles_per_sec()).abs() < 1e-6);
         // The aggregate covers only the serial app/config points.
         assert_eq!(report.basket_cycles(), 1000);
+        // Per-entry extraction round-trips names, cycles, and rates.
+        let entries = baseline_entries(&json);
+        assert_eq!(entries.len(), report.entries.len());
+        for (got, want) in entries.iter().zip(&report.entries) {
+            assert_eq!(got.0, want.name);
+            assert_eq!(got.1, want.cycles);
+            assert!((got.2 - want.cycles_per_sec()).abs() < 1e-6);
+        }
     }
 }

@@ -513,8 +513,8 @@ fn push_sequential_pass(
 }
 
 struct SeqKernels {
-    high: Vec<(Arc<Kernel>, isrf_kernel::Schedule)>,
-    low: Vec<(Arc<Kernel>, isrf_kernel::Schedule)>,
+    high: Vec<(Arc<Kernel>, Arc<isrf_kernel::Schedule>)>,
+    low: Vec<(Arc<Kernel>, Arc<isrf_kernel::Schedule>)>,
 }
 
 fn seq_kernels(m: &Machine) -> SeqKernels {
@@ -623,11 +623,7 @@ fn prepare_base(cfg: ConfigName, params: &Fft2dParams) -> crate::common::Prepare
         );
         last_rep = Some(fin);
     }
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(OUT_BASE, ELEMS * 2)],
-    }
+    crate::common::Prepared::new(m, p, vec![(OUT_BASE, ELEMS * 2)])
 }
 
 /// Prepare the ISRF version (second dimension in place via indexed access).
@@ -635,7 +631,7 @@ fn prepare_isrf(cfg: ConfigName, params: &Fft2dParams) -> crate::common::Prepare
     let mut m = machine(cfg);
     let su = setup(&mut m, true, params);
     let kernels = seq_kernels(&m);
-    let idx_kernels: Vec<(Arc<Kernel>, isrf_kernel::Schedule)> = [HALF, 16, 8, 4, 2, 1]
+    let idx_kernels: Vec<(Arc<Kernel>, Arc<isrf_kernel::Schedule>)> = [HALF, 16, 8, 4, 2, 1]
         .iter()
         .map(|&d| {
             let k = Arc::new(build_bf_idx_kernel(d));
@@ -678,11 +674,7 @@ fn prepare_isrf(cfg: ConfigName, params: &Fft2dParams) -> crate::common::Prepare
         let fin = p.store(cur, isrf_output_scatter(OUT_BASE), false, &[last]);
         last_rep = Some(fin);
     }
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(OUT_BASE, ELEMS * 2)],
-    }
+    crate::common::Prepared::new(m, p, vec![(OUT_BASE, ELEMS * 2)])
 }
 
 /// Set up the machine (input, twiddles, un-measured setup program) and

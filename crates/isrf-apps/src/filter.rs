@@ -310,11 +310,7 @@ pub fn prepare(cfg: ConfigName, params: &FilterParams) -> crate::common::Prepare
         let st = p.store(window, strip_store_pattern(row0, first_j, js), false, &[k]);
         prev = Some(st);
     }
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(OUT_BASE, params.rows * COLS)],
-    }
+    crate::common::Prepared::new(m, p, vec![(OUT_BASE, params.rows * COLS)])
 }
 
 /// Run the benchmark on `cfg`; verified against direct convolution.

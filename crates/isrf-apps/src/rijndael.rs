@@ -437,11 +437,7 @@ fn prepare_isrf(cfg: ConfigName, params: &RijndaelParams) -> crate::common::Prep
         prev_kernel = Some(k);
         buf_user[pick] = Some(k);
     }
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(layout.ct_base, params.total_blocks() * 4)],
-    }
+    crate::common::Prepared::new(m, p, vec![(layout.ct_base, params.total_blocks() * 4)])
 }
 
 /// Prepare the Base/Cache version: 11 kernels per wave with data-dependent
@@ -579,11 +575,7 @@ fn prepare_base(cfg: ConfigName, params: &RijndaelParams) -> crate::common::Prep
         );
     }
 
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(layout.ct_base, params.total_blocks() * 4)],
-    }
+    crate::common::Prepared::new(m, p, vec![(layout.ct_base, params.total_blocks() * 4)])
 }
 
 /// Set up the machine (tables, plaintext, any un-measured setup) and build

@@ -296,11 +296,7 @@ fn prepare_isrf(cfg: ConfigName, params: &SortParams) -> crate::common::Prepared
         run *= 2;
     }
     p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(OUT_BASE, n)],
-    }
+    crate::common::Prepared::new(m, p, vec![(OUT_BASE, n)])
 }
 
 /// Prepare the Base/Cache version: conditional-stream merge passes.
@@ -338,11 +334,7 @@ fn prepare_base(cfg: ConfigName, params: &SortParams) -> crate::common::Prepared
         run *= 2;
     }
     p.store(cur, AddrPattern::contiguous(OUT_BASE, n), false, &[last]);
-    crate::common::Prepared {
-        machine: m,
-        program: p,
-        outputs: vec![(OUT_BASE, n)],
-    }
+    crate::common::Prepared::new(m, p, vec![(OUT_BASE, n)])
 }
 
 /// Ablation: the baseline recast as a bitonic sorting network over strided

@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod hash;
 pub mod ir;
 pub mod sched;
 
 pub use graph::{DepEdge, DepGraph, LatencyModel};
+pub use hash::{kernel_hash, sched_params_hash, schedule_hash, StableHasher};
 pub use ir::{Kernel, KernelBuilder, Op, Opcode, Operand, StreamKind, StreamSlot, ValueId};
-pub use sched::{schedule, SchedParams, Schedule, ScheduleError};
+pub use sched::{schedule, schedule_cached, SchedParams, Schedule, ScheduleError};

@@ -20,7 +20,9 @@
 //! increasing II with a modulo reservation table and eviction-based
 //! backtracking.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use isrf_core::config::MachineConfig;
 
@@ -318,6 +320,44 @@ impl Mrt {
             }
         }
     }
+}
+
+/// Schedule `kernel` under `params`, memoizing the result by content hash.
+///
+/// Modulo scheduling dominates per-invocation setup cost in parameter
+/// sweeps where the same kernel is rescheduled at every sweep point that
+/// shares a separation setting. This wrapper keys a process-wide memo by
+/// ([`crate::hash::kernel_hash`], [`crate::hash::sched_params_hash`]) and
+/// returns a shared `Arc<Schedule>`; structurally identical requests —
+/// including from concurrent sweep workers — schedule once.
+///
+/// The memo lock is not held while scheduling, so two workers racing on
+/// the same key may both schedule; the first insert wins and the result is
+/// identical either way (scheduling is deterministic).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] exactly as [`schedule`] does. Errors are not
+/// memoized.
+pub fn schedule_cached(
+    kernel: &Kernel,
+    params: &SchedParams,
+) -> Result<Arc<Schedule>, ScheduleError> {
+    // BTreeMap rather than HashMap: the simulator's determinism lints ban
+    // randomly-seeded containers, and the memo is small (tens of entries).
+    #[allow(clippy::type_complexity)]
+    static MEMO: OnceLock<Mutex<BTreeMap<(u128, u128), Arc<Schedule>>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let key = (
+        crate::hash::kernel_hash(kernel),
+        crate::hash::sched_params_hash(params),
+    );
+    if let Some(hit) = memo.lock().unwrap().get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let fresh = Arc::new(schedule(kernel, params)?);
+    let mut guard = memo.lock().unwrap();
+    Ok(Arc::clone(guard.entry(key).or_insert(fresh)))
 }
 
 /// Schedule `kernel` under `params`.

@@ -6,13 +6,22 @@
 
 use isrf_core::Word;
 
+/// Words per lazily-allocated chunk (256 KB). Benchmarks place their
+/// regions at well-separated bases across a large address space; chunking
+/// keeps the cost of touching a high address proportional to the data
+/// actually written instead of the span below it.
+const CHUNK_WORDS: usize = 1 << 16;
+
 /// A flat, word-addressed functional memory.
 ///
-/// Memory grows on demand up to a fixed maximum so benchmarks can lay out
-/// data without preallocating an address-space-sized vector.
+/// Backed by demand-allocated fixed-size chunks: unwritten regions (and
+/// the gaps between benchmark data regions) cost nothing, reads of
+/// unbacked locations return zero.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    words: Vec<Word>,
+    chunks: Vec<Option<Box<[Word]>>>,
+    /// High-water mark: one past the highest address ever written.
+    len: usize,
 }
 
 impl Memory {
@@ -27,29 +36,35 @@ impl Memory {
 
     /// Number of words currently backed (high-water mark of writes).
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// True if nothing has been written yet.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
     }
 
-    fn ensure(&mut self, addr: u32) {
-        let addr = addr as usize;
+    /// The chunk holding `addr`, allocated (zeroed) on first touch.
+    fn chunk_mut(&mut self, addr: usize) -> &mut [Word] {
         assert!(
             addr < Self::MAX_WORDS,
             "word address {addr:#x} out of range"
         );
-        if addr >= self.words.len() {
-            self.words.resize(addr + 1, 0);
+        let c = addr / CHUNK_WORDS;
+        if c >= self.chunks.len() {
+            self.chunks.resize_with(c + 1, || None);
         }
+        self.chunks[c].get_or_insert_with(|| vec![0; CHUNK_WORDS].into_boxed_slice())
     }
 
     /// Read the word at `addr` (unwritten locations read as zero).
     #[inline]
     pub fn read(&self, addr: u32) -> Word {
-        self.words.get(addr as usize).copied().unwrap_or(0)
+        let a = addr as usize;
+        match self.chunks.get(a / CHUNK_WORDS) {
+            Some(Some(chunk)) => chunk[a % CHUNK_WORDS],
+            _ => 0,
+        }
     }
 
     /// Write `value` at `addr`.
@@ -59,8 +74,9 @@ impl Memory {
     /// Panics if `addr` exceeds [`Memory::MAX_WORDS`].
     #[inline]
     pub fn write(&mut self, addr: u32, value: Word) {
-        self.ensure(addr);
-        self.words[addr as usize] = value;
+        let a = addr as usize;
+        self.chunk_mut(a)[a % CHUNK_WORDS] = value;
+        self.len = self.len.max(a + 1);
     }
 
     /// Read `data.len()` consecutive words starting at `base`.
@@ -79,11 +95,16 @@ impl Memory {
 
     /// Write a block of consecutive words starting at `base`.
     pub fn write_block(&mut self, base: u32, data: &[Word]) {
-        if let Some(last) = data.len().checked_sub(1) {
-            self.ensure(base + last as u32);
-            let b = base as usize;
-            self.words[b..b + data.len()].copy_from_slice(data);
+        let mut src = data;
+        let mut a = base as usize;
+        while !src.is_empty() {
+            let off = a % CHUNK_WORDS;
+            let n = src.len().min(CHUNK_WORDS - off);
+            self.chunk_mut(a)[off..off + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            a += n;
         }
+        self.len = self.len.max(base as usize + data.len());
     }
 
     /// Gather the words at the given addresses, in order.
@@ -128,34 +149,53 @@ mod tests {
     fn block_roundtrip() {
         let mut m = Memory::new();
         m.write_block(100, &[1, 2, 3]);
-        assert_eq!(m.read_block(99, 5), [0, 1, 2, 3, 0]);
+        assert_eq!(m.read_block(100, 3), vec![1, 2, 3]);
+        assert_eq!(m.read_block(99, 5), vec![0, 1, 2, 3, 0]);
     }
 
     #[test]
-    fn empty_block_write_is_noop() {
+    fn block_crosses_chunk_boundary() {
         let mut m = Memory::new();
-        m.write_block(5, &[]);
-        assert!(m.is_empty());
+        let base = (CHUNK_WORDS - 2) as u32;
+        m.write_block(base, &[7, 8, 9, 10]);
+        assert_eq!(m.read_block(base, 4), vec![7, 8, 9, 10]);
+        assert_eq!(m.len(), CHUNK_WORDS + 2);
+        // Per-word reads resolve the same data across the boundary.
+        assert_eq!(m.read(base + 3), 10);
     }
 
     #[test]
-    fn gather_scatter() {
+    fn sparse_writes_do_not_back_the_gap() {
         let mut m = Memory::new();
-        m.scatter(&[5, 1, 9], &[50, 10, 90]);
-        assert_eq!(m.gather(&[9, 5, 1, 0]), [90, 50, 10, 0]);
+        m.write(0, 1);
+        m.write((Memory::MAX_WORDS - 1) as u32, 2);
+        assert_eq!(m.len(), Memory::MAX_WORDS);
+        assert_eq!(m.read(Memory::MAX_WORDS as u32 / 2), 0);
+        // Only two chunks are actually allocated.
+        let backed = m.chunks.iter().filter(|c| c.is_some()).count();
+        assert_eq!(backed, 2);
     }
 
     #[test]
-    #[should_panic(expected = "scatter length mismatch")]
-    fn scatter_length_mismatch_panics() {
+    fn gather_scatter_roundtrip() {
         let mut m = Memory::new();
-        m.scatter(&[1, 2], &[1]);
+        let addrs = [5u32, 1000, 70000, 5];
+        m.scatter(&addrs, &[10, 20, 30, 40]);
+        // Later scatter entries win on duplicate addresses.
+        assert_eq!(m.gather(&addrs), vec![40, 20, 30, 40]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_write_panics() {
         let mut m = Memory::new();
-        m.write(u32::MAX, 1);
+        m.write(Memory::MAX_WORDS as u32, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter length mismatch")]
+    fn scatter_length_mismatch_panics() {
+        let mut m = Memory::new();
+        m.scatter(&[1, 2], &[3]);
     }
 }

@@ -34,6 +34,32 @@ use isrf_trace::{StallReason, TraceEvent, Tracer};
 use crate::indexed::{service_indexed, IdxKind, IdxParams, IdxState};
 use crate::srf::Srf;
 use crate::stream::{CondInState, CondOutState, SeqInState, SeqOutState, StreamBinding};
+use crate::tape::{cached_tape, rv, src_word, CompiledTape, MicroKind, MicroOp, RSrc, NO_DST};
+
+/// Which execution path a [`KernelRun`] uses for its kernel cycles.
+///
+/// Both engines implement identical stall/arbitration semantics; the tape
+/// engine executes a pre-compiled flat micro-op program
+/// ([`crate::tape::CompiledTape`]) instead of re-walking the kernel DAG
+/// every cycle. Select before the first tick of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Compiled flat-tape execution (the default).
+    Tape,
+    /// The retained DAG-walking interpreter — the triage fallback, and the
+    /// default when the `interp` feature is enabled.
+    Interp,
+}
+
+impl Default for ExecEngine {
+    fn default() -> Self {
+        if cfg!(feature = "interp") {
+            ExecEngine::Interp
+        } else {
+            ExecEngine::Tape
+        }
+    }
+}
 
 /// Per-slot runtime state.
 #[derive(Debug)]
@@ -101,6 +127,15 @@ pub struct KernelRun {
     comm_busy_prev: bool,
     /// Per-lane staging for conditional-stream distribution within a cycle.
     cond_scratch: Vec<Word>,
+    engine: ExecEngine,
+    /// Compiled micro-op program (tape engine; compiled lazily on first
+    /// tick unless pre-set by the machine's per-dispatch memo).
+    tape: Option<Arc<CompiledTape>>,
+    /// Flat context ring of the tape engine: `depth` rows of
+    /// `n_ctx x lanes` words, indexed by iteration modulo `depth`.
+    ring: Vec<Word>,
+    /// First iteration whose ring row has not been zeroed yet.
+    ring_next_zero: u64,
     rr_grant: usize,
     rr_idx: usize,
     /// Cycles in which the schedule advanced.
@@ -196,6 +231,10 @@ impl KernelRun {
             max_dist,
             comm_busy_prev: false,
             cond_scratch: vec![0; lanes],
+            engine: ExecEngine::default(),
+            tape: None,
+            ring: Vec::new(),
+            ring_next_zero: 0,
             rr_grant: 0,
             rr_idx: 0,
             advance_cycles: 0,
@@ -210,6 +249,29 @@ impl KernelRun {
     /// The schedule this run executes.
     pub fn schedule(&self) -> &Schedule {
         &self.sched
+    }
+
+    /// The engine this run executes with.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Select the execution engine. Must be called before the first tick:
+    /// the engines keep their iteration contexts in different structures,
+    /// so switching mid-run loses in-flight values.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// Install a pre-compiled tape (skipping the lazy per-tick lookup) and
+    /// size the context ring for it. Also selects the tape engine.
+    pub(crate) fn set_tape(&mut self, tape: Arc<CompiledTape>) {
+        self.engine = ExecEngine::Tape;
+        self.ring.clear();
+        self.ring.resize(tape.ring_words(), 0);
+        // Rows for iterations `0..depth` start zeroed by the resize.
+        self.ring_next_zero = tape.depth as u64;
+        self.tape = Some(tape);
     }
 
     /// Iterations per cluster.
@@ -285,7 +347,16 @@ impl KernelRun {
             self.flush_cycles += 1;
             return Phase::Flushing;
         }
-        let advanced = self.fire_cycle(now, scratch, es, tracer);
+        let advanced = match self.engine {
+            ExecEngine::Tape => {
+                if self.tape.is_none() {
+                    let tape = cached_tape(&self.kernel, &self.sched, self.lanes);
+                    self.set_tape(tape);
+                }
+                self.fire_cycle_tape(now, scratch, tracer)
+            }
+            ExecEngine::Interp => self.fire_cycle(now, scratch, es, tracer),
+        };
         if advanced {
             self.t += 1;
             self.advance_cycles += 1;
@@ -696,7 +767,7 @@ impl KernelRun {
                 let SlotState::Idx(i) = self.slots[s.0 as usize] else {
                     unreachable!();
                 };
-                self.idx_states[i].push_write(lane, addr, vec![v]);
+                self.idx_states[i].push_write_word(lane, addr, v);
                 v
             }
             ScratchRead => {
@@ -721,6 +792,456 @@ impl KernelRun {
             }
             // Pure ALU ops.
             _ => eval_alu(op.opcode, |k, l| self.resolve(j, &op.operands[k], l), lane),
+        }
+    }
+
+    /// Tape-engine counterpart of [`KernelRun::fire_cycle`]: same firing
+    /// order, stall attribution and all-or-nothing semantics, but over the
+    /// pre-compiled micro-op groups and the flat context ring.
+    fn fire_cycle_tape(
+        &mut self,
+        now: u64,
+        scratch: &mut [Vec<Word>],
+        tracer: &mut Tracer,
+    ) -> bool {
+        let tape = Arc::clone(self.tape.as_ref().expect("tape engine without a tape"));
+        let t = self.t;
+        let ii = tape.ii;
+        let span = tape.span;
+        let j_hi = (t / ii).min(self.iters.saturating_sub(1));
+        let j_lo = if t >= span { (t - span) / ii + 1 } else { 0 };
+        // Zero the ring rows of newly-active iterations: consumers read
+        // slots of not-yet-fired producers as 0, exactly like the
+        // interpreter's freshly zeroed contexts. The ring is deep enough
+        // (`stages + max_dist + 1` rounded up) that a reused row is fully
+        // dead by the time it comes around again.
+        while self.ring_next_zero <= j_hi {
+            let row = (self.ring_next_zero & tape.mask) as usize * tape.row_words;
+            self.ring[row..row + tape.row_words].fill(0);
+            self.ring_next_zero += 1;
+        }
+        // Stall check in firing order: iterations ascending, op order
+        // within each group. Only the precomputed checkable subset is
+        // visited — pure arithmetic never blocks.
+        for j in j_lo..=j_hi {
+            let slot = t - j * ii;
+            if slot >= span {
+                continue;
+            }
+            let g = tape.groups[slot as usize];
+            for ci in g.checks.0..g.checks.1 {
+                let mop = tape.ops[tape.checks[ci as usize] as usize];
+                if let Some((slot_id, reason)) = self.tape_blocker(&tape, &mop, j, now) {
+                    if tracer.enabled() {
+                        tracer.emit(
+                            now,
+                            TraceEvent::KernelStall {
+                                slot: slot_id,
+                                reason,
+                            },
+                        );
+                    }
+                    return false;
+                }
+            }
+        }
+        let mut comm_busy = false;
+        for j in j_lo..=j_hi {
+            let slot = t - j * ii;
+            if slot >= span {
+                continue;
+            }
+            let g = tape.groups[slot as usize];
+            comm_busy |= g.comm_busy;
+            for oi in g.ops.0..g.ops.1 {
+                self.exec_tape_op(&tape, oi as usize, j, scratch);
+            }
+        }
+        self.comm_busy_prev = comm_busy;
+        true
+    }
+
+    /// Can this checkable micro-op fire for iteration `j`? Mirrors
+    /// [`KernelRun::first_blocker`] per op.
+    fn tape_blocker(
+        &self,
+        tape: &CompiledTape,
+        mop: &MicroOp,
+        j: u64,
+        now: u64,
+    ) -> Option<(u8, StallReason)> {
+        match mop.kind {
+            MicroKind::SeqRead { slot } => {
+                let SlotState::SeqIn(st) = &self.slots[slot as usize] else {
+                    unreachable!("validated kind");
+                };
+                for lane in 0..self.lanes {
+                    if !st.can_pop(lane, now) && !st.lane_done(lane) {
+                        let reason = if st.buffered_words(lane) == 0 {
+                            StallReason::SeqInStarved
+                        } else {
+                            StallReason::SeqInLatency
+                        };
+                        return Some((slot, reason));
+                    }
+                }
+                None
+            }
+            MicroKind::SeqWrite { slot } => {
+                let SlotState::SeqOut(st) = &self.slots[slot as usize] else {
+                    unreachable!();
+                };
+                ((0..self.lanes).any(|l| !st.can_push(l)))
+                    .then_some((slot, StallReason::SeqOutFull))
+            }
+            MicroKind::CondLaneRead { slot } => {
+                let SlotState::CondLaneIn(st) = &self.slots[slot as usize] else {
+                    unreachable!();
+                };
+                for lane in 0..self.lanes {
+                    let cond = word::as_bool(src_word(tape, &self.ring, mop.a, j, lane));
+                    if cond && !st.can_pop(lane, now) && !st.lane_done(lane) {
+                        let reason = if st.buffered_words(lane) == 0 {
+                            StallReason::SeqInStarved
+                        } else {
+                            StallReason::SeqInLatency
+                        };
+                        return Some((slot, reason));
+                    }
+                }
+                None
+            }
+            MicroKind::CondRead { slot } => {
+                let SlotState::CondIn(st) = &self.slots[slot as usize] else {
+                    unreachable!();
+                };
+                let k: usize = (0..self.lanes)
+                    .filter(|&l| word::as_bool(src_word(tape, &self.ring, mop.a, j, l)))
+                    .count();
+                let k_eff = k.min(st.remaining_words() as usize);
+                (!st.can_pop(k_eff, now)).then_some((slot, StallReason::CondInStarved))
+            }
+            MicroKind::CondWrite { slot } => {
+                let SlotState::CondOut(st) = &self.slots[slot as usize] else {
+                    unreachable!();
+                };
+                let k: usize = (0..self.lanes)
+                    .filter(|&l| word::as_bool(src_word(tape, &self.ring, mop.a, j, l)))
+                    .count();
+                (!st.can_push(k)).then_some((slot, StallReason::CondOutFull))
+            }
+            MicroKind::IdxAddr { slot, idx } | MicroKind::IdxWrite { slot, idx } => {
+                let st = &self.idx_states[idx as usize];
+                ((0..self.lanes).any(|l| !st.can_push_addr(l)))
+                    .then_some((slot, StallReason::AddrFifoFull))
+            }
+            MicroKind::IdxRead { slot, idx } => {
+                let st = &self.idx_states[idx as usize];
+                ((0..self.lanes).any(|l| !st.can_pop_data(l)))
+                    .then_some((slot, StallReason::IdxDataNotReady))
+            }
+            _ => None,
+        }
+    }
+
+    /// Execute one micro-op for iteration `j`, all lanes, committing
+    /// results straight into the context ring.
+    fn exec_tape_op(&mut self, tape: &CompiledTape, oi: usize, j: u64, scratch: &mut [Vec<Word>]) {
+        let mop = tape.ops[oi];
+        let lanes = self.lanes;
+        // Split borrows: the ring, the slot states and the staging buffer
+        // are disjoint fields.
+        let slots = &mut self.slots;
+        let idx_states = &mut self.idx_states;
+        let ring = &mut self.ring;
+        let cond_scratch = &mut self.cond_scratch;
+        let dst = mop.dst;
+        let dst_base = if dst == NO_DST {
+            usize::MAX
+        } else {
+            tape.row_base(j, dst)
+        };
+        match mop.kind {
+            MicroKind::Alu(opc) => {
+                let ra = tape.rsrc(mop.a, j);
+                let rb = tape.rsrc(mop.b, j);
+                let rc = tape.rsrc(mop.c, j);
+                // Dead pure arithmetic is dropped at compile time, so the
+                // destination is always live here.
+                exec_alu_lanes(opc, ring, ra, rb, rc, dst_base, lanes);
+            }
+            MicroKind::SeqRead { slot } => {
+                let SlotState::SeqIn(st) = &mut slots[slot as usize] else {
+                    unreachable!("validated kind");
+                };
+                for lane in 0..lanes {
+                    let v = if st.lane_done(lane) { 0 } else { st.pop(lane) };
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::SeqWrite { slot } => {
+                let ra = tape.rsrc(mop.a, j);
+                let SlotState::SeqOut(st) = &mut slots[slot as usize] else {
+                    unreachable!();
+                };
+                for lane in 0..lanes {
+                    let v = rv(ring, ra, lane);
+                    st.push(lane, v);
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::CondLaneRead { slot } => {
+                let ra = tape.rsrc(mop.a, j);
+                let SlotState::CondLaneIn(st) = &mut slots[slot as usize] else {
+                    unreachable!();
+                };
+                for lane in 0..lanes {
+                    let cond = word::as_bool(rv(ring, ra, lane));
+                    let v = if cond && !st.lane_done(lane) {
+                        st.pop(lane)
+                    } else {
+                        0
+                    };
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::CondRead { slot } => {
+                let ra = tape.rsrc(mop.a, j);
+                let mut k = 0usize;
+                for (lane, cs) in cond_scratch.iter_mut().enumerate().take(lanes) {
+                    let c = word::as_bool(rv(ring, ra, lane));
+                    *cs = Word::from(c);
+                    k += usize::from(c);
+                }
+                let SlotState::CondIn(st) = &mut slots[slot as usize] else {
+                    unreachable!();
+                };
+                let k_eff = k.min(st.remaining_words() as usize);
+                let mut words = st.pop(k_eff).into_iter();
+                for lane in 0..lanes {
+                    let v = if cond_scratch[lane] != 0 {
+                        words.next().unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::CondWrite { slot } => {
+                let ra = tape.rsrc(mop.a, j);
+                let rb = tape.rsrc(mop.b, j);
+                let mut k = 0usize;
+                for lane in 0..lanes {
+                    if word::as_bool(rv(ring, ra, lane)) {
+                        cond_scratch[k] = rv(ring, rb, lane);
+                        k += 1;
+                    }
+                }
+                let SlotState::CondOut(st) = &mut slots[slot as usize] else {
+                    unreachable!();
+                };
+                st.push(&cond_scratch[..k]);
+                // The op's value is all-zero; the row was zeroed at
+                // activation and this is its slot's only writer (SSA), so
+                // no commit is needed.
+            }
+            MicroKind::IdxAddr { idx, .. } => {
+                let ra = tape.rsrc(mop.a, j);
+                let st = &mut idx_states[idx as usize];
+                for lane in 0..lanes {
+                    let addr = rv(ring, ra, lane);
+                    st.push_addr(lane, addr);
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = addr;
+                    }
+                }
+            }
+            MicroKind::IdxRead { idx, .. } => {
+                let st = &mut idx_states[idx as usize];
+                for lane in 0..lanes {
+                    let v = st.pop_data(lane);
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::IdxWrite { idx, .. } => {
+                let ra = tape.rsrc(mop.a, j);
+                let rb = tape.rsrc(mop.b, j);
+                let st = &mut idx_states[idx as usize];
+                for lane in 0..lanes {
+                    let addr = rv(ring, ra, lane);
+                    let v = rv(ring, rb, lane);
+                    st.push_write_word(lane, addr, v);
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::ScratchRead => {
+                let ra = tape.rsrc(mop.a, j);
+                for lane in 0..lanes {
+                    let addr = rv(ring, ra, lane) as usize % scratch[lane].len();
+                    let v = scratch[lane][addr];
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::ScratchWrite => {
+                let ra = tape.rsrc(mop.a, j);
+                let rb = tape.rsrc(mop.b, j);
+                for lane in 0..lanes {
+                    let addr = rv(ring, ra, lane) as usize % scratch[lane].len();
+                    let v = rv(ring, rb, lane);
+                    scratch[lane][addr] = v;
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::Comm { rotate } => {
+                let ra = tape.rsrc(mop.a, j);
+                for lane in 0..lanes {
+                    let src_lane = (lane as i64 + rotate as i64).rem_euclid(lanes as i64) as usize;
+                    let v = rv(ring, ra, src_lane);
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+            MicroKind::CommXor { mask } => {
+                let ra = tape.rsrc(mop.a, j);
+                for lane in 0..lanes {
+                    let src_lane = (lane ^ mask as usize) % lanes;
+                    let v = rv(ring, ra, src_lane);
+                    if dst != NO_DST {
+                        ring[dst_base + lane] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execute a pure ALU op across all lanes with the opcode dispatch
+/// hoisted out of the per-lane loop: one match, then a tight loop per
+/// opcode. Semantics mirror [`eval_alu`] exactly (wrapping `i32`
+/// arithmetic, zero divisor yields 0, shift counts masked to 5 bits,
+/// `f32` round-trips through the word encoding, `Select` reads only the
+/// taken operand); any opcode without a dedicated loop falls back to it.
+fn exec_alu_lanes(
+    opc: Opcode,
+    ring: &mut [Word],
+    ra: RSrc,
+    rb: RSrc,
+    rc: RSrc,
+    dst_base: usize,
+    lanes: usize,
+) {
+    use Opcode::*;
+    macro_rules! un {
+        (|$a:ident| $e:expr) => {
+            for lane in 0..lanes {
+                let $a = rv(ring, ra, lane);
+                let v = $e;
+                ring[dst_base + lane] = v;
+            }
+        };
+    }
+    macro_rules! bin {
+        (|$a:ident, $b:ident| $e:expr) => {
+            for lane in 0..lanes {
+                let $a = rv(ring, ra, lane);
+                let $b = rv(ring, rb, lane);
+                let v = $e;
+                ring[dst_base + lane] = v;
+            }
+        };
+    }
+    macro_rules! ibin {
+        (|$a:ident, $b:ident| $e:expr) => {
+            bin!(|wa, wb| {
+                let $a = word::as_i32(wa);
+                let $b = word::as_i32(wb);
+                $e
+            })
+        };
+    }
+    macro_rules! fbin {
+        (|$a:ident, $b:ident| $e:expr) => {
+            bin!(|wa, wb| {
+                let $a = word::as_f32(wa);
+                let $b = word::as_f32(wb);
+                $e
+            })
+        };
+    }
+    match opc {
+        Mov => un!(|a| a),
+        Not => un!(|a| !a),
+        Neg => un!(|a| word::from_i32(word::as_i32(a).wrapping_neg())),
+        FNeg => un!(|a| word::from_f32(-word::as_f32(a))),
+        IToF => un!(|a| word::from_f32(word::as_i32(a) as f32)),
+        FToI => un!(|a| word::from_i32(word::as_f32(a) as i32)),
+        Add => ibin!(|a, b| word::from_i32(a.wrapping_add(b))),
+        Sub => ibin!(|a, b| word::from_i32(a.wrapping_sub(b))),
+        Mul => ibin!(|a, b| word::from_i32(a.wrapping_mul(b))),
+        Div => ibin!(|a, b| word::from_i32(if b == 0 { 0 } else { a.wrapping_div(b) })),
+        Rem => ibin!(|a, b| word::from_i32(if b == 0 { 0 } else { a.wrapping_rem(b) })),
+        And => bin!(|a, b| a & b),
+        Or => bin!(|a, b| a | b),
+        Xor => bin!(|a, b| a ^ b),
+        Shl => bin!(|a, b| a.wrapping_shl(b & 31)),
+        Shr => bin!(|a, b| a.wrapping_shr(b & 31)),
+        Sra => bin!(|a, b| word::from_i32(word::as_i32(a).wrapping_shr(b & 31))),
+        Lt => ibin!(|a, b| word::from_bool(a < b)),
+        Le => ibin!(|a, b| word::from_bool(a <= b)),
+        Eq => bin!(|a, b| word::from_bool(a == b)),
+        Ne => bin!(|a, b| word::from_bool(a != b)),
+        ULt => bin!(|a, b| word::from_bool(a < b)),
+        Min => ibin!(|a, b| word::from_i32(a.min(b))),
+        Max => ibin!(|a, b| word::from_i32(a.max(b))),
+        FAdd => fbin!(|a, b| word::from_f32(a + b)),
+        FSub => fbin!(|a, b| word::from_f32(a - b)),
+        FMul => fbin!(|a, b| word::from_f32(a * b)),
+        FDiv => fbin!(|a, b| word::from_f32(a / b)),
+        FLt => fbin!(|a, b| word::from_bool(a < b)),
+        FLe => fbin!(|a, b| word::from_bool(a <= b)),
+        FEq => fbin!(|a, b| word::from_bool(a == b)),
+        FMin => fbin!(|a, b| word::from_f32(a.min(b))),
+        FMax => fbin!(|a, b| word::from_f32(a.max(b))),
+        Select => {
+            for lane in 0..lanes {
+                let v = if word::as_bool(rv(ring, ra, lane)) {
+                    rv(ring, rb, lane)
+                } else {
+                    rv(ring, rc, lane)
+                };
+                ring[dst_base + lane] = v;
+            }
+        }
+        _ => {
+            for lane in 0..lanes {
+                let v = eval_alu(
+                    opc,
+                    |k, l| match k {
+                        0 => rv(ring, ra, l),
+                        1 => rv(ring, rb, l),
+                        _ => rv(ring, rc, l),
+                    },
+                    lane,
+                );
+                ring[dst_base + lane] = v;
+            }
         }
     }
 }

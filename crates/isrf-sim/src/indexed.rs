@@ -45,12 +45,38 @@ pub enum IdxKind {
     CrossLaneRead,
 }
 
+/// Write payload of a queued record access. Kernel indexed writes are
+/// word-granular, so the hot path stays allocation-free; multi-word
+/// payloads (direct `push_write` callers) still heap-allocate.
+#[derive(Debug, Clone)]
+enum IdxData {
+    /// A read: no payload.
+    None,
+    /// Single-word write (the kernel hot path).
+    One(Word),
+    /// Multi-word record write.
+    Many(Vec<Word>),
+}
+
+impl IdxData {
+    fn word(&self, i: u32) -> Word {
+        match self {
+            IdxData::None => unreachable!("read request has no write data"),
+            IdxData::One(w) => {
+                debug_assert_eq!(i, 0);
+                *w
+            }
+            IdxData::Many(v) => v[i as usize],
+        }
+    }
+}
+
 /// One queued record access.
 #[derive(Debug, Clone)]
 struct IdxReq {
     record: u32,
-    /// Write data (one word per record word); empty for reads.
-    data: Vec<Word>,
+    /// Write data (one word per record word); `None` for reads.
+    data: IdxData,
 }
 
 /// Per-lane FIFOs of one indexed stream.
@@ -86,6 +112,12 @@ pub struct IdxState {
     lanes: Vec<IdxLane>,
     fifo_cap: usize,
     buf_cap: usize,
+    /// Address-FIFO entries across all lanes — lets the per-cycle
+    /// `pending_addresses`/`drained` checks skip the lane scan.
+    addr_entries: usize,
+    /// In-flight (issued, not yet arrived) words across all lanes — lets
+    /// `tick_arrivals` return immediately on the common no-arrival cycle.
+    inflight_words: usize,
 }
 
 impl IdxState {
@@ -103,6 +135,8 @@ impl IdxState {
             lanes: (0..lanes).map(|_| IdxLane::new()).collect(),
             fifo_cap: idx.addr_fifo_entries,
             buf_cap: m.srf.stream_buffer_words,
+            addr_entries: 0,
+            inflight_words: 0,
         }
     }
 
@@ -117,8 +151,9 @@ impl IdxState {
         debug_assert!(self.kind != IdxKind::InLaneWrite);
         self.lanes[lane].addr_fifo.push_back(IdxReq {
             record,
-            data: Vec::new(),
+            data: IdxData::None,
         });
+        self.addr_entries += 1;
     }
 
     /// Queue a write of `data` (one record) at `record` from lane `l`.
@@ -126,9 +161,25 @@ impl IdxState {
         debug_assert!(self.can_push_addr(lane));
         debug_assert_eq!(self.kind, IdxKind::InLaneWrite);
         debug_assert_eq!(data.len(), self.binding.record_words as usize);
-        self.lanes[lane]
-            .addr_fifo
-            .push_back(IdxReq { record, data });
+        self.lanes[lane].addr_fifo.push_back(IdxReq {
+            record,
+            data: IdxData::Many(data),
+        });
+        self.addr_entries += 1;
+    }
+
+    /// Queue a single-word write at `record` from lane `l` without heap
+    /// allocation (the kernel hot path: indexed write bindings are
+    /// word-granular).
+    pub fn push_write_word(&mut self, lane: usize, record: u32, word: Word) {
+        debug_assert!(self.can_push_addr(lane));
+        debug_assert_eq!(self.kind, IdxKind::InLaneWrite);
+        debug_assert_eq!(self.binding.record_words, 1);
+        self.lanes[lane].addr_fifo.push_back(IdxReq {
+            record,
+            data: IdxData::One(word),
+        });
+        self.addr_entries += 1;
     }
 
     /// Is a data word ready for lane `l`?
@@ -150,10 +201,14 @@ impl IdxState {
 
     /// Move arrived in-flight words into the data buffers.
     pub fn tick_arrivals(&mut self, now: u64) {
+        if self.inflight_words == 0 {
+            return; // nothing issued: the common per-cycle case
+        }
         for lane in &mut self.lanes {
             while lane.inflight.front().is_some_and(|&(t, _)| t <= now) {
                 let (_, w) = lane.inflight.pop_front().expect("checked front");
                 lane.data.push_back(w);
+                self.inflight_words -= 1;
             }
         }
     }
@@ -163,10 +218,14 @@ impl IdxState {
     /// inter-cluster data network with explicit communications, which have
     /// priority; a queued return simply waits for a free slot).
     pub fn tick_arrivals_budgeted(&mut self, now: u64, budget: &mut usize) {
+        if self.inflight_words == 0 {
+            return;
+        }
         for lane in &mut self.lanes {
             while *budget > 0 && lane.inflight.front().is_some_and(|&(t, _)| t <= now) {
                 let (_, w) = lane.inflight.pop_front().expect("checked front");
                 lane.data.push_back(w);
+                self.inflight_words -= 1;
                 *budget -= 1;
             }
         }
@@ -174,14 +233,12 @@ impl IdxState {
 
     /// Any address still queued or being expanded?
     pub fn pending_addresses(&self) -> bool {
-        self.lanes.iter().any(|l| !l.addr_fifo.is_empty())
+        self.addr_entries > 0
     }
 
     /// All queues empty (used to detect kernel-drain completion)?
     pub fn drained(&self) -> bool {
-        self.lanes
-            .iter()
-            .all(|l| l.addr_fifo.is_empty() && l.inflight.is_empty())
+        self.addr_entries == 0 && self.inflight_words == 0
     }
 
     /// Total occupancy of lane `l`'s data path (buffered + in flight),
@@ -374,9 +431,14 @@ pub fn service_indexed(
                 st.lanes[lane]
                     .inflight
                     .push_back((now + p.inlane_latency, w));
+                st.inflight_words += 1;
             } else {
-                let w =
-                    st.lanes[lane].addr_fifo.front().expect("head exists").data[head_word as usize];
+                let w = st.lanes[lane]
+                    .addr_fifo
+                    .front()
+                    .expect("head exists")
+                    .data
+                    .word(head_word);
                 srf.write(lane, offset, w);
             }
             // Advance the head expansion counter.
@@ -385,6 +447,7 @@ pub fn service_indexed(
             if l.head_word == st.binding.record_words {
                 l.head_word = 0;
                 l.addr_fifo.pop_front();
+                st.addr_entries -= 1;
             }
             if tracer.enabled() {
                 let fifo_after = st.lanes[lane].addr_fifo.len() as u8;
@@ -482,11 +545,13 @@ pub fn service_indexed(
                 st.lanes[lane]
                     .inflight
                     .push_back((now + p.crosslane_latency + extra, w));
+                st.inflight_words += 1;
                 let l = &mut st.lanes[lane];
                 l.head_word += 1;
                 if l.head_word == st.binding.record_words {
                     l.head_word = 0;
                     l.addr_fifo.pop_front();
+                    st.addr_entries -= 1;
                 }
                 if tracer.enabled() {
                     let fifo_after = st.lanes[lane].addr_fifo.len() as u8;

@@ -85,9 +85,10 @@ pub mod machine;
 pub mod program;
 pub mod srf;
 pub mod stream;
+pub mod tape;
 pub mod verify;
 
-pub use exec::{ExecScratch, KernelRun, Phase};
+pub use exec::{ExecEngine, ExecScratch, KernelRun, Phase};
 pub use indexed::{
     service_indexed, topology_extra_latency, topology_issue_budget, IdxKind, IdxParams, IdxState,
 };
@@ -95,4 +96,5 @@ pub use machine::Machine;
 pub use program::{ProgOp, ProgOpId, StreamProgram};
 pub use srf::{Srf, SrfRange};
 pub use stream::StreamBinding;
+pub use tape::{cached_tape, CompiledTape};
 pub use verify::{Diagnostic, ProgramVerifier, VerifyEnv, VerifyError, VerifyPolicy};

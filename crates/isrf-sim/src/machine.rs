@@ -14,15 +14,19 @@
 //! for transfers), and kernel overheads (dispatch, software-pipeline
 //! fill/drain, output flush, and everything else).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use isrf_core::config::{ConfigError, MachineConfig};
 use isrf_core::stats::RunStats;
 use isrf_core::Word;
+use isrf_kernel::ir::Kernel;
+use isrf_kernel::sched::Schedule;
 use isrf_mem::{MemorySystem, TransferId};
 use isrf_trace::{CycleAttr, TraceEvent, Tracer};
 
-use crate::exec::{ExecScratch, KernelRun, Phase};
+use crate::exec::{ExecEngine, ExecScratch, KernelRun, Phase};
+use crate::tape::{cached_tape, CompiledTape};
 
 /// A live memory transfer issued by [`Machine::run`]: the program op it
 /// completes and, for loads, the destination stream and the data to land
@@ -69,6 +73,13 @@ pub struct Machine {
     /// Per-bank word intervals known to hold data (sorted, disjoint):
     /// direct `write_stream` setup plus the outputs of completed runs.
     filled: Vec<(u32, u32)>,
+    /// Kernel execution engine installed on every dispatched run.
+    engine: ExecEngine,
+    /// Per-machine tape memo keyed by `(kernel, schedule)` Arc identity,
+    /// skipping the content-hash lookup on repeat dispatches. The Arcs
+    /// are pinned in the entry so pointer keys stay valid.
+    #[allow(clippy::type_complexity)]
+    tape_memo: BTreeMap<(usize, usize), (Arc<Kernel>, Arc<Schedule>, Arc<CompiledTape>)>,
 }
 
 impl Machine {
@@ -94,8 +105,34 @@ impl Machine {
             verifier: None,
             verify_policy: VerifyPolicy::default(),
             filled: Vec::new(),
+            engine: ExecEngine::default(),
+            tape_memo: BTreeMap::new(),
             cfg,
         })
+    }
+
+    /// Select the kernel execution engine for subsequent dispatches.
+    ///
+    /// Both engines produce byte-identical stats and traces; the tape
+    /// engine (the default) is simply faster. The interpreter remains
+    /// available for differential testing and triage.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// The compiled tape for `(kernel, sched)`, via the per-machine
+    /// identity memo backed by the process-global content-hash cache.
+    fn tape_for(&mut self, kernel: &Arc<Kernel>, sched: &Arc<Schedule>) -> Arc<CompiledTape> {
+        let key = (Arc::as_ptr(kernel) as usize, Arc::as_ptr(sched) as usize);
+        if let Some((_, _, tape)) = self.tape_memo.get(&key) {
+            return Arc::clone(tape);
+        }
+        let tape = cached_tape(kernel, sched, self.cfg.lanes);
+        self.tape_memo.insert(
+            key,
+            (Arc::clone(kernel), Arc::clone(sched), Arc::clone(&tape)),
+        );
+        tape
     }
 
     /// Enable or disable the quiescence fast-forward (skipping runs of
@@ -504,16 +541,21 @@ impl Machine {
                                 },
                             );
                         }
-                        kernel_run = Some((
-                            ki,
-                            KernelRun::new(
-                                &self.cfg,
-                                Arc::clone(kernel),
-                                Arc::clone(schedule),
-                                bindings,
-                                *iters,
-                            ),
-                        ));
+                        let mut run = KernelRun::new(
+                            &self.cfg,
+                            Arc::clone(kernel),
+                            Arc::clone(schedule),
+                            bindings,
+                            *iters,
+                        );
+                        match self.engine {
+                            ExecEngine::Tape => {
+                                let tape = self.tape_for(kernel, schedule);
+                                run.set_tape(tape);
+                            }
+                            ExecEngine::Interp => run.set_engine(ExecEngine::Interp),
+                        }
+                        kernel_run = Some((ki, run));
                         kernel_dispatch_left = self.cfg.kernel_dispatch_cycles;
                     }
                 }

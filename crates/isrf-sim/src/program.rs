@@ -272,7 +272,7 @@ impl StreamProgram {
     pub fn kernel(
         &mut self,
         kernel: Arc<Kernel>,
-        schedule: Schedule,
+        schedule: impl Into<Arc<Schedule>>,
         bindings: Vec<StreamBinding>,
         iters: u64,
         deps: &[ProgOpId],
@@ -287,7 +287,7 @@ impl StreamProgram {
         self.push(
             ProgOp::Kernel {
                 kernel,
-                schedule: Arc::new(schedule),
+                schedule: schedule.into(),
                 bindings,
                 iters,
             },

@@ -1,0 +1,546 @@
+//! Kernel tape compilation: lower a scheduled kernel once into a flat,
+//! pre-resolved micro-op program for the zero-graph-walk hot loop.
+//!
+//! The interpreter in [`crate::exec`] re-walks the kernel DAG every cycle:
+//! each operand resolve re-reads the producing op, matches on its opcode
+//! to special-case the Free producers (`Const`/`LaneId`/`LaneCount`/
+//! `IterId`), and indexes a `VecDeque` of per-iteration contexts. This
+//! module performs all of that decision-making once per `(Kernel,
+//! Schedule, lanes)` triple:
+//!
+//! * operand sources fold to `Src` values — immediates, lane/iteration
+//!   specializations, or direct dense context-slot reads;
+//! * ops are grouped by schedule slot (`Group`), with the stall-check
+//!   subset precomputed so pure arithmetic is never rescanned on the
+//!   blocker path;
+//! * context slots are densely renumbered (only values actually read
+//!   through the context get a slot) and live in a flat power-of-two ring
+//!   indexed by iteration, replacing the `VecDeque<Vec<Word>>`;
+//! * Free ops and dead pure arithmetic are dropped from the tape entirely
+//!   (consumers never read their context slots, they never stall, and
+//!   they never touch `comm_busy`, so dropping them is unobservable).
+//!
+//! Execution of the tape lives in [`crate::exec`] (`fire_cycle_tape`);
+//! stall and arbitration semantics are byte-identical to the interpreter —
+//! the `interp` feature flips the default engine back for triage, and the
+//! differential proptest in `tests/proptest_engines.rs` holds the two
+//! paths equal.
+//!
+//! Compiled tapes are cached process-wide, keyed by content hash
+//! ([`isrf_kernel::hash`]), so repeated invocations across strip-mined
+//! iterations, machine instances and sweep points compile once.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use isrf_core::Word;
+use isrf_kernel::hash::{kernel_hash, schedule_hash};
+use isrf_kernel::ir::{Kernel, OpClass, Opcode, Operand};
+use isrf_kernel::sched::Schedule;
+
+/// Sentinel context slot for ops whose value is never read.
+pub(crate) const NO_DST: u16 = u16::MAX;
+
+/// A pre-resolved operand source.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Src {
+    /// Compile-time constant (`Const`, `LaneCount`, folded inits).
+    Imm(Word),
+    /// The lane index (`LaneId` producer at distance 0).
+    Lane,
+    /// The iteration id `j - d`, or `init` while `j < d`.
+    Iter { d: u32, init: Word },
+    /// A constant once `j >= d`, `init` before (carried `Const`/`LaneCount`).
+    CarriedImm { d: u32, init: Word, val: Word },
+    /// The lane index once `j >= d`, `init` before (carried `LaneId`).
+    CarriedLane { d: u32, init: Word },
+    /// Context slot of the current iteration (distance 0).
+    Ctx0 { slot: u16 },
+    /// Context slot of iteration `j - d`, or `init` while `j < d`.
+    Ctx { slot: u16, d: u32, init: Word },
+}
+
+/// Source fully resolved for one `(op, iteration)`: what remains is a
+/// per-lane read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RSrc {
+    /// A constant for every lane.
+    Imm(Word),
+    /// The lane index itself.
+    Lane,
+    /// `ring[base + lane]`.
+    Base(usize),
+}
+
+/// Kind of one tape micro-op (the single dispatch point of the hot loop).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MicroKind {
+    /// Pure arithmetic, evaluated by `eval_alu`.
+    Alu(Opcode),
+    /// Sequential stream pop, all lanes.
+    SeqRead { slot: u8 },
+    /// Sequential stream push, all lanes.
+    SeqWrite { slot: u8 },
+    /// Per-lane conditional pop (network-routed substreams).
+    CondLaneRead { slot: u8 },
+    /// Whole-op conditional distribute-pop.
+    CondRead { slot: u8 },
+    /// Whole-op conditional compacting push.
+    CondWrite { slot: u8 },
+    /// Indexed address issue; `idx` indexes `KernelRun::idx_states`.
+    IdxAddr { slot: u8, idx: u16 },
+    /// Indexed data pop paired with an earlier `IdxAddr`.
+    IdxRead { slot: u8, idx: u16 },
+    /// Indexed write (address + value).
+    IdxWrite { slot: u8, idx: u16 },
+    /// Cluster scratchpad read.
+    ScratchRead,
+    /// Cluster scratchpad write.
+    ScratchWrite,
+    /// Static rotation permutation over the inter-cluster network.
+    Comm { rotate: i32 },
+    /// Static XOR (butterfly) permutation.
+    CommXor { mask: u32 },
+}
+
+/// One pre-resolved micro-op. Unused sources are `Src::Imm(0)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MicroOp {
+    pub kind: MicroKind,
+    /// Dense context slot receiving the per-lane results ([`NO_DST`] when
+    /// no live op reads this value).
+    pub dst: u16,
+    pub a: Src,
+    pub b: Src,
+    pub c: Src,
+}
+
+/// Micro-ops of one schedule slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Group {
+    /// `[start, end)` range into [`CompiledTape::ops`].
+    pub ops: (u32, u32),
+    /// `[start, end)` range into [`CompiledTape::checks`]: the ops that
+    /// can stall, in firing order.
+    pub checks: (u32, u32),
+    /// Firing this group occupies the inter-cluster network (conditional
+    /// stream coordination or explicit communication).
+    pub comm_busy: bool,
+}
+
+/// A kernel lowered against one schedule for one lane count: flat
+/// micro-ops grouped by kernel cycle, plus the context-ring geometry.
+///
+/// Produced by [`cached_tape`]; executed by `KernelRun` when its engine is
+/// `ExecEngine::Tape`.
+#[derive(Debug)]
+pub struct CompiledTape {
+    /// Initiation interval (copied from the schedule for locality).
+    pub(crate) ii: u64,
+    /// Schedule span (slots per iteration).
+    pub(crate) span: u64,
+    /// One group per schedule slot (`span` entries; possibly empty).
+    pub(crate) groups: Vec<Group>,
+    /// All live micro-ops, slot-major, op order within a slot.
+    pub(crate) ops: Vec<MicroOp>,
+    /// Indices into `ops` for the stall-checkable subset, slot-major.
+    pub(crate) checks: Vec<u32>,
+    /// Context ring depth in iterations (power of two).
+    pub(crate) depth: usize,
+    /// `depth - 1`, for modulo indexing by iteration number.
+    pub(crate) mask: u64,
+    /// Words per ring row: `n_ctx * lanes`.
+    pub(crate) row_words: usize,
+    /// Lane count the tape was specialized for.
+    pub(crate) lanes: usize,
+}
+
+impl CompiledTape {
+    /// Total ring capacity in words (`depth * row_words`).
+    pub(crate) fn ring_words(&self) -> usize {
+        self.depth * self.row_words
+    }
+
+    /// Resolve `s` for iteration `j` down to a per-lane read.
+    #[inline]
+    pub(crate) fn rsrc(&self, s: Src, j: u64) -> RSrc {
+        match s {
+            Src::Imm(w) => RSrc::Imm(w),
+            Src::Lane => RSrc::Lane,
+            Src::Iter { d, init } => {
+                if u64::from(d) > j {
+                    RSrc::Imm(init)
+                } else {
+                    RSrc::Imm((j - u64::from(d)) as Word)
+                }
+            }
+            Src::CarriedImm { d, init, val } => {
+                RSrc::Imm(if u64::from(d) > j { init } else { val })
+            }
+            Src::CarriedLane { d, init } => {
+                if u64::from(d) > j {
+                    RSrc::Imm(init)
+                } else {
+                    RSrc::Lane
+                }
+            }
+            Src::Ctx0 { slot } => {
+                RSrc::Base((j & self.mask) as usize * self.row_words + slot as usize * self.lanes)
+            }
+            Src::Ctx { slot, d, init } => {
+                if u64::from(d) > j {
+                    RSrc::Imm(init)
+                } else {
+                    let pj = j - u64::from(d);
+                    RSrc::Base(
+                        (pj & self.mask) as usize * self.row_words + slot as usize * self.lanes,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Ring offset of `(iteration j, context slot)` lane 0.
+    #[inline]
+    pub(crate) fn row_base(&self, j: u64, slot: u16) -> usize {
+        (j & self.mask) as usize * self.row_words + slot as usize * self.lanes
+    }
+}
+
+/// Read one lane of a resolved source.
+#[inline]
+pub(crate) fn rv(ring: &[Word], r: RSrc, lane: usize) -> Word {
+    match r {
+        RSrc::Imm(w) => w,
+        RSrc::Lane => lane as Word,
+        RSrc::Base(b) => ring[b + lane],
+    }
+}
+
+/// Full resolution of one source for `(iteration, lane)` — the stall-check
+/// path, which is not hot enough to warrant the per-op [`RSrc`] hoist.
+#[inline]
+pub(crate) fn src_word(tape: &CompiledTape, ring: &[Word], s: Src, j: u64, lane: usize) -> Word {
+    rv(ring, tape.rsrc(s, j), lane)
+}
+
+fn is_free(opc: Opcode) -> bool {
+    matches!(opc.class(), OpClass::Free)
+}
+
+/// Ops `eval_alu` handles: pure, no machine-state side effects, safe to
+/// drop when dead. (`ScratchRead` is also pure but touches the scratch
+/// length — kept so out-of-range behavior matches the interpreter.)
+fn is_pure_alu(opc: Opcode) -> bool {
+    matches!(opc.class(), OpClass::Alu | OpClass::Divider)
+}
+
+fn compile_src(kernel: &Kernel, ctx_slot: &[u16], lanes: usize, o: &Operand) -> Src {
+    let producer = kernel.ops[o.value.index()].opcode;
+    let d = o.distance;
+    match producer {
+        Opcode::Const(w) => {
+            if d == 0 {
+                Src::Imm(w)
+            } else {
+                Src::CarriedImm {
+                    d,
+                    init: o.init,
+                    val: w,
+                }
+            }
+        }
+        Opcode::LaneCount => {
+            if d == 0 {
+                Src::Imm(lanes as Word)
+            } else {
+                Src::CarriedImm {
+                    d,
+                    init: o.init,
+                    val: lanes as Word,
+                }
+            }
+        }
+        Opcode::LaneId => {
+            if d == 0 {
+                Src::Lane
+            } else {
+                Src::CarriedLane { d, init: o.init }
+            }
+        }
+        Opcode::IterId => Src::Iter { d, init: o.init },
+        _ => {
+            let slot = ctx_slot[o.value.index()];
+            debug_assert_ne!(slot, NO_DST, "ctx-read of an unslotted value");
+            if d == 0 {
+                Src::Ctx0 { slot }
+            } else {
+                Src::Ctx {
+                    slot,
+                    d,
+                    init: o.init,
+                }
+            }
+        }
+    }
+}
+
+/// Lower `kernel`/`sched` for `lanes` lanes. See the module docs for the
+/// transformation; [`cached_tape`] is the memoized entry point.
+pub(crate) fn compile(kernel: &Kernel, sched: &Schedule, lanes: usize) -> CompiledTape {
+    let n_ops = kernel.ops.len();
+
+    // Which values are read through the context? Free producers are
+    // resolved inline by consumers (folded into `Src`), and the operand of
+    // an `IdxRead` is a scheduling token that is never resolved at all.
+    let mut ctx_read = vec![false; n_ops];
+    for op in &kernel.ops {
+        if matches!(op.opcode, Opcode::IdxRead(_)) {
+            continue;
+        }
+        for o in &op.operands {
+            if !is_free(kernel.ops[o.value.index()].opcode) {
+                ctx_read[o.value.index()] = true;
+            }
+        }
+    }
+
+    // Dense context slots, in op order.
+    let mut ctx_slot = vec![NO_DST; n_ops];
+    let mut n_ctx: u16 = 0;
+    for i in 0..n_ops {
+        if ctx_read[i] {
+            ctx_slot[i] = n_ctx;
+            n_ctx += 1;
+        }
+    }
+
+    // Live ops: everything except Free ops (consumers never read their
+    // context, they never stall, they never set comm_busy) and dead pure
+    // arithmetic.
+    let live = |i: usize| {
+        let opc = kernel.ops[i].opcode;
+        !is_free(opc) && (ctx_read[i] || !is_pure_alu(opc))
+    };
+
+    // Group by schedule slot, preserving op order within a slot — the
+    // interpreter fires `(iteration, op)` pairs sorted by op index, and
+    // stall attribution depends on that order.
+    let span = sched.span as usize;
+    let mut by_slot: Vec<Vec<usize>> = vec![Vec::new(); span];
+    for (i, &s) in sched.slots.iter().enumerate() {
+        if live(i) {
+            by_slot[s as usize].push(i);
+        }
+    }
+
+    // Indexed streams are numbered by declaration order, exactly as
+    // `KernelRun::new` builds its `idx_states`.
+    let mut idx_of_stream = vec![u16::MAX; kernel.streams.len()];
+    let mut n_idx: u16 = 0;
+    for (si, decl) in kernel.streams.iter().enumerate() {
+        if decl.kind.is_indexed() {
+            idx_of_stream[si] = n_idx;
+            n_idx += 1;
+        }
+    }
+
+    let mut ops: Vec<MicroOp> = Vec::new();
+    let mut checks: Vec<u32> = Vec::new();
+    let mut groups: Vec<Group> = Vec::with_capacity(span);
+    for slot_ops in &by_slot {
+        let ops_start = ops.len() as u32;
+        let checks_start = checks.len() as u32;
+        let mut comm_busy = false;
+        for &i in slot_ops {
+            let op = &kernel.ops[i];
+            let src = |k: usize| compile_src(kernel, &ctx_slot, lanes, &op.operands[k]);
+            let zero = Src::Imm(0);
+            use Opcode::*;
+            let (kind, a, b, c) = match op.opcode {
+                SeqRead(s) => (MicroKind::SeqRead { slot: s.0 }, zero, zero, zero),
+                SeqWrite(s) => (MicroKind::SeqWrite { slot: s.0 }, src(0), zero, zero),
+                CondLaneRead(s) => (MicroKind::CondLaneRead { slot: s.0 }, src(0), zero, zero),
+                CondRead(s) => (MicroKind::CondRead { slot: s.0 }, src(0), zero, zero),
+                CondWrite(s) => (MicroKind::CondWrite { slot: s.0 }, src(0), src(1), zero),
+                IdxAddr(s) => (
+                    MicroKind::IdxAddr {
+                        slot: s.0,
+                        idx: idx_of_stream[s.0 as usize],
+                    },
+                    src(0),
+                    zero,
+                    zero,
+                ),
+                IdxRead(s) => (
+                    MicroKind::IdxRead {
+                        slot: s.0,
+                        idx: idx_of_stream[s.0 as usize],
+                    },
+                    zero,
+                    zero,
+                    zero,
+                ),
+                IdxWrite(s) => (
+                    MicroKind::IdxWrite {
+                        slot: s.0,
+                        idx: idx_of_stream[s.0 as usize],
+                    },
+                    src(0),
+                    src(1),
+                    zero,
+                ),
+                ScratchRead => (MicroKind::ScratchRead, src(0), zero, zero),
+                ScratchWrite => (MicroKind::ScratchWrite, src(0), src(1), zero),
+                Comm { rotate } => (MicroKind::Comm { rotate }, src(0), zero, zero),
+                CommXor { mask } => (MicroKind::CommXor { mask }, src(0), zero, zero),
+                opc => {
+                    debug_assert!(is_pure_alu(opc));
+                    let n = op.operands.len();
+                    (
+                        MicroKind::Alu(opc),
+                        if n > 0 { src(0) } else { zero },
+                        if n > 1 { src(1) } else { zero },
+                        if n > 2 { src(2) } else { zero },
+                    )
+                }
+            };
+            let needs_check = matches!(
+                kind,
+                MicroKind::SeqRead { .. }
+                    | MicroKind::SeqWrite { .. }
+                    | MicroKind::CondLaneRead { .. }
+                    | MicroKind::CondRead { .. }
+                    | MicroKind::CondWrite { .. }
+                    | MicroKind::IdxAddr { .. }
+                    | MicroKind::IdxRead { .. }
+                    | MicroKind::IdxWrite { .. }
+            );
+            comm_busy |= matches!(
+                kind,
+                MicroKind::CondLaneRead { .. }
+                    | MicroKind::CondRead { .. }
+                    | MicroKind::CondWrite { .. }
+                    | MicroKind::Comm { .. }
+                    | MicroKind::CommXor { .. }
+            );
+            if needs_check {
+                checks.push(ops.len() as u32);
+            }
+            ops.push(MicroOp {
+                kind,
+                dst: ctx_slot[i],
+                a,
+                b,
+                c,
+            });
+        }
+        groups.push(Group {
+            ops: (ops_start, ops.len() as u32),
+            checks: (checks_start, checks.len() as u32),
+            comm_busy,
+        });
+    }
+
+    // Ring depth: at most `stages` iterations are in flight, and consumers
+    // reach back `max_dist` iterations, so `stages + max_dist` rows are
+    // simultaneously readable. One spare row plus rounding to a power of
+    // two means a row is always fully dead by the time it is re-zeroed for
+    // a new iteration.
+    let max_dist = kernel
+        .ops
+        .iter()
+        .flat_map(|o| o.operands.iter().map(|p| p.distance))
+        .max()
+        .unwrap_or(0);
+    let depth = u64::from(sched.stages() + max_dist + 1).next_power_of_two() as usize;
+
+    CompiledTape {
+        ii: u64::from(sched.ii),
+        span: u64::from(sched.span),
+        groups,
+        ops,
+        checks,
+        depth,
+        mask: depth as u64 - 1,
+        row_words: usize::from(n_ctx) * lanes,
+        lanes,
+    }
+}
+
+/// Compile (or fetch) the tape for `(kernel, sched, lanes)`.
+///
+/// The cache is process-wide and keyed by content hash, so structurally
+/// identical kernels — across machine instances, strip-mined invocations
+/// and parallel sweep workers — compile exactly once. The lock is not held
+/// during compilation; a rare racing duplicate is dropped on insert.
+pub fn cached_tape(kernel: &Kernel, sched: &Schedule, lanes: usize) -> Arc<CompiledTape> {
+    #[allow(clippy::type_complexity)]
+    static CACHE: OnceLock<Mutex<BTreeMap<(u128, u128, usize), Arc<CompiledTape>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let key = (kernel_hash(kernel), schedule_hash(sched), lanes);
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    let tape = Arc::new(compile(kernel, sched, lanes));
+    let mut guard = cache.lock().unwrap();
+    Arc::clone(guard.entry(key).or_insert(tape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrf_core::config::{ConfigName, MachineConfig};
+    use isrf_kernel::ir::{KernelBuilder, StreamKind};
+    use isrf_kernel::sched::{schedule, SchedParams};
+
+    fn lowered() -> (Kernel, Schedule) {
+        let mut b = KernelBuilder::new("t");
+        let i = b.stream("in", StreamKind::SeqIn);
+        let o = b.stream("out", StreamKind::SeqOut);
+        let x = b.seq_read(i);
+        let k = b.constant(7);
+        let y = b.mul(x, k);
+        let dead = b.add(x, k);
+        let _ = dead; // dead pure op: dropped from the tape
+        b.seq_write(o, y);
+        let kernel = b.build().unwrap();
+        let p = SchedParams::from_machine(&MachineConfig::preset(ConfigName::Base));
+        let s = schedule(&kernel, &p).unwrap();
+        (kernel, s)
+    }
+
+    #[test]
+    fn folds_constants_and_drops_dead_ops() {
+        let (kernel, sched) = lowered();
+        let tape = compile(&kernel, &sched, 8);
+        // Live: seq_read, mul, seq_write. Dropped: const (Free), dead add.
+        assert_eq!(tape.ops.len(), 3);
+        // Ctx slots: only seq_read and mul results are read.
+        assert_eq!(tape.row_words, 2 * 8);
+        let mul = tape
+            .ops
+            .iter()
+            .find(|m| matches!(m.kind, MicroKind::Alu(Opcode::Mul)))
+            .expect("mul survives");
+        assert!(matches!(mul.a, Src::Ctx0 { .. }));
+        assert!(matches!(mul.b, Src::Imm(7)));
+        // Stall checks cover exactly the two stream ops.
+        assert_eq!(tape.checks.len(), 2);
+        assert!(tape.depth.is_power_of_two());
+        assert!(tape.depth as u32 >= sched.stages());
+    }
+
+    #[test]
+    fn cached_tape_is_shared_by_content() {
+        let (kernel, sched) = lowered();
+        let a = cached_tape(&kernel, &sched, 8);
+        let mut renamed = kernel.clone();
+        renamed.name = "other".into();
+        let b = cached_tape(&renamed, &sched, 8);
+        assert!(Arc::ptr_eq(&a, &b), "name does not affect the content key");
+        let c = cached_tape(&kernel, &sched, 4);
+        assert!(!Arc::ptr_eq(&a, &c), "lane count is part of the key");
+    }
+}

@@ -1,0 +1,210 @@
+//! Differential property test: the compiled-tape engine and the
+//! graph-walking interpreter must be indistinguishable.
+//!
+//! Random verifier-clean kernels — arbitrary ALU opcodes (including the
+//! divider and `Select`), loop-carried operands, folded constant /
+//! lane-id / iteration-id producers, and cross-lane `Comm` permutations —
+//! are run through the same load → kernel → store program on two fresh
+//! machines, one per [`ExecEngine`]. The runs must produce identical
+//! `RunStats` (cycle counts and the full Figure-12 breakdown), identical
+//! recorded trace streams, and identical output memory.
+
+use std::sync::Arc;
+
+use isrf_core::config::{ConfigName, MachineConfig};
+use isrf_core::Word;
+use isrf_kernel::ir::{Kernel, KernelBuilder, Opcode, Operand, StreamKind};
+use isrf_kernel::sched::{schedule, SchedParams};
+use isrf_mem::AddrPattern;
+use isrf_sim::{ExecEngine, Machine, StreamProgram};
+use isrf_trace::{TraceEvent, Tracer};
+use isrf_verify::Verifier;
+use proptest::prelude::*;
+
+/// Every pure ALU opcode the kernel IR defines (the tape engine's
+/// specialized lane loops and its `eval_alu` fallback both sit behind
+/// these).
+const ALU_OPS: &[Opcode] = &[
+    Opcode::Mov,
+    Opcode::Not,
+    Opcode::Neg,
+    Opcode::FNeg,
+    Opcode::IToF,
+    Opcode::FToI,
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Sra,
+    Opcode::Lt,
+    Opcode::Le,
+    Opcode::Eq,
+    Opcode::Ne,
+    Opcode::ULt,
+    Opcode::Min,
+    Opcode::Max,
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::FDiv,
+    Opcode::FLt,
+    Opcode::FLe,
+    Opcode::FEq,
+    Opcode::FMin,
+    Opcode::FMax,
+    Opcode::Select,
+];
+
+/// One generated kernel-body step. `kind` picks between an ALU op and the
+/// two cross-lane communication permutations; operand selectors index
+/// into the values produced so far (constants, lane/iter ids, the stream
+/// element, and every prior step).
+#[derive(Debug, Clone)]
+struct Step {
+    kind: u8,
+    op: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    /// Loop-carry operand `a` by this distance with this initial word.
+    carry: Option<(u32, Word)>,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (
+            0u8..10,
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+            (any::<bool>(), 1u32..3, any::<Word>()),
+        )
+            .prop_map(|(kind, op, a, b, c, (carried, d, init))| Step {
+                kind,
+                op,
+                a,
+                b,
+                c,
+                carry: carried.then_some((d, init)),
+            }),
+        1..10,
+    )
+}
+
+/// Assemble a kernel from the step recipe. Returns `None` when the recipe
+/// happens to violate a structural kernel rule — proptest discards those.
+fn build_kernel(steps: &[Step]) -> Option<Arc<Kernel>> {
+    let mut b = KernelBuilder::new("fuzz");
+    let si = b.stream("in", StreamKind::SeqIn);
+    let so = b.stream("out", StreamKind::SeqOut);
+    let mut vals = vec![b.seq_read(si)];
+    vals.push(b.constant(0x2b));
+    vals.push(b.constant_f(1.5));
+    vals.push(b.lane_id());
+    vals.push(b.iter_id());
+    for st in steps {
+        let a = vals[st.a % vals.len()];
+        let bb = vals[st.b % vals.len()];
+        let c = vals[st.c % vals.len()];
+        let v = match st.kind {
+            // A sprinkling of cross-lane permutations among the ALU ops.
+            0 => b.comm_rotate((st.a % 8) as i32, bb),
+            1 => b.comm_xor((st.b % 8) as u32, a),
+            _ => {
+                let op = ALU_OPS[st.op % ALU_OPS.len()];
+                let mut operands: Vec<Operand> = [a, bb, c][..op.arity()]
+                    .iter()
+                    .map(|&v| Operand::from(v))
+                    .collect();
+                if let Some((d, init)) = st.carry {
+                    operands[0] = Operand::carried(a, d, init);
+                }
+                b.push(op, operands)
+            }
+        };
+        vals.push(v);
+    }
+    let last = *vals.last().unwrap();
+    b.seq_write(so, last);
+    b.build().ok().map(Arc::new)
+}
+
+/// Everything one engine run exposes: stats, trace, and the stored
+/// output block.
+type Observed = (
+    isrf_core::stats::RunStats,
+    Vec<(u64, TraceEvent)>,
+    Vec<Word>,
+);
+
+/// Run the kernel under one engine.
+fn run_engine(
+    cfg: ConfigName,
+    kernel: &Arc<Kernel>,
+    iters: u64,
+    engine: ExecEngine,
+) -> Option<Observed> {
+    const IN_BASE: u32 = 0;
+    const OUT_BASE: u32 = 0x8000;
+    let mcfg = MachineConfig::preset(cfg);
+    let sched = schedule(kernel, &SchedParams::from_machine(&mcfg)).ok()?;
+    let mut m = Machine::new(mcfg).unwrap();
+    m.set_engine(engine);
+    m.set_verifier(Some(Arc::new(Verifier::new())));
+    m.set_tracer(Tracer::recording(1 << 16));
+    let lanes = m.config().lanes as u32;
+    let words = iters as u32 * lanes;
+    // Deterministic mixed-pattern input: small ints, negatives, and
+    // word patterns that decode to interesting floats.
+    for i in 0..words {
+        m.mem_mut()
+            .memory_mut()
+            .write(IN_BASE + i, (i ^ 0x3f00_0000).wrapping_mul(2654435761));
+    }
+    let ib = m.alloc_stream(1, words);
+    let ob = m.alloc_stream(1, words);
+    let mut p = StreamProgram::new();
+    let l = p.load(AddrPattern::contiguous(IN_BASE, words), ib, false, &[]);
+    let k = p.kernel(kernel.clone(), sched, vec![ib, ob], iters, &[l]);
+    p.store(ob, AddrPattern::contiguous(OUT_BASE, words), false, &[k]);
+    // Only verifier-clean programs count for the property.
+    m.verify_program(&p).ok()?;
+    let stats = m.run(&p);
+    let events = m
+        .take_tracer()
+        .into_recorder()
+        .expect("recording")
+        .ring()
+        .iter()
+        .cloned()
+        .collect();
+    let out = m.mem().memory().read_block(OUT_BASE, words as usize);
+    Some((stats, events, out))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tape engine is unobservable next to the interpreter: identical
+    /// stats, trace, and memory for random kernels on every configuration.
+    #[test]
+    fn tape_matches_interpreter(ss in steps(), iters in 1u64..5) {
+        let Some(kernel) = build_kernel(&ss) else { return Ok(()) };
+        for cfg in [ConfigName::Base, ConfigName::Isrf4] {
+            let Some((stats_t, events_t, out_t)) =
+                run_engine(cfg, &kernel, iters, ExecEngine::Tape) else { return Ok(()) };
+            let (stats_i, events_i, out_i) =
+                run_engine(cfg, &kernel, iters, ExecEngine::Interp).expect("same program");
+            prop_assert_eq!(stats_t, stats_i, "stats differ on {}", cfg);
+            prop_assert_eq!(&events_t, &events_i, "trace differs on {}", cfg);
+            prop_assert_eq!(&out_t, &out_i, "output memory differs on {}", cfg);
+        }
+    }
+}
