@@ -78,6 +78,14 @@ echo "==> engine differential (tape vs interpreter)"
 # an indexed-landing point (filter Base).
 ./target/release/engines
 
+echo "==> snapshot/resume differential + bisector negative test"
+# Pausing sort/ISRF4 halfway, serializing the machine, restoring into a
+# fresh one and resuming must be byte-identical to an uninterrupted run
+# under both engines; and the first-divergence bisector must localize a
+# deliberately injected single-word SRF corruption to its exact cycle.
+./target/release/snapshot
+./target/release/snapshot negative
+
 if [[ "$miri" == 1 ]]; then
   echo "==> cargo miri test (foundation crates)"
   cargo miri test -q -p isrf-core -p isrf-sram

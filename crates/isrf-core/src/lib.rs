@@ -10,6 +10,8 @@
 //! * [`stats`] — cycle accounting (the execution-time breakdown of Figure 12),
 //!   off-chip traffic counters (Figure 11) and SRF bandwidth counters
 //!   (Figure 13).
+//! * [`snap`] — the versioned, content-hashed binary codec behind the
+//!   simulator's cycle-granular snapshot/resume machinery (DESIGN.md §12).
 //!
 //! # Example
 //!
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod snap;
 pub mod stats;
 pub mod word;
 

@@ -13,6 +13,8 @@
 use std::fmt;
 use std::ops::AddAssign;
 
+use crate::snap::{Dec, Enc, SnapError};
+
 /// Execution-time breakdown in cycles (the stacked components of Figure 12).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
@@ -82,6 +84,22 @@ pub struct MemTraffic {
 }
 
 impl MemTraffic {
+    /// Write the counters into a snapshot encoder.
+    pub fn encode_state(&self, e: &mut Enc) {
+        e.u64(self.bytes_read);
+        e.u64(self.bytes_written);
+        e.u64(self.cache_hit_bytes);
+    }
+
+    /// Read counters written by [`MemTraffic::encode_state`].
+    pub fn decode_state(d: &mut Dec) -> Result<Self, SnapError> {
+        Ok(MemTraffic {
+            bytes_read: d.u64()?,
+            bytes_written: d.u64()?,
+            cache_hit_bytes: d.u64()?,
+        })
+    }
+
     /// Total off-chip bytes moved.
     pub fn total(&self) -> u64 {
         self.bytes_read + self.bytes_written
@@ -176,6 +194,40 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Write every counter into a snapshot encoder.
+    pub fn encode_state(&self, e: &mut Enc) {
+        e.u64(self.cycles);
+        e.u64(self.breakdown.kernel_loop);
+        e.u64(self.breakdown.mem_stall);
+        e.u64(self.breakdown.srf_stall);
+        e.u64(self.breakdown.overhead);
+        self.mem.encode_state(e);
+        e.u64(self.srf.seq_words);
+        e.u64(self.srf.inlane_words);
+        e.u64(self.srf.crosslane_words);
+        e.u64(self.main_loop_cycles);
+    }
+
+    /// Read counters written by [`RunStats::encode_state`].
+    pub fn decode_state(d: &mut Dec) -> Result<Self, SnapError> {
+        Ok(RunStats {
+            cycles: d.u64()?,
+            breakdown: Breakdown {
+                kernel_loop: d.u64()?,
+                mem_stall: d.u64()?,
+                srf_stall: d.u64()?,
+                overhead: d.u64()?,
+            },
+            mem: MemTraffic::decode_state(d)?,
+            srf: SrfTraffic {
+                seq_words: d.u64()?,
+                inlane_words: d.u64()?,
+                crosslane_words: d.u64()?,
+            },
+            main_loop_cycles: d.u64()?,
+        })
+    }
+
     /// Speedup of this run relative to `base` (ratio of total cycles).
     pub fn speedup_over(&self, base: &RunStats) -> f64 {
         base.cycles as f64 / self.cycles.max(1) as f64

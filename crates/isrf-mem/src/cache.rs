@@ -12,6 +12,7 @@
 //! into DRAM traffic.
 
 use isrf_core::config::CacheConfig;
+use isrf_core::snap::{Dec, Enc, SnapError};
 
 /// Result of one word-granularity cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +149,59 @@ impl VectorCache {
             hit: false,
             writeback,
         }
+    }
+
+    /// Serialize the dynamic cache state (tags, LRU stamps, statistics).
+    /// Geometry is not written: the decoder's cache must already be built
+    /// from the same configuration.
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        e.u64(self.use_counter);
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.usize(self.banks);
+        e.usize(self.sets_per_bank);
+        e.usize(self.ways);
+        for bank in &self.sets {
+            for set in bank {
+                for line in set {
+                    e.u32(line.tag);
+                    e.bool(line.valid);
+                    e.bool(line.dirty);
+                    e.u64(line.lru);
+                }
+            }
+        }
+    }
+
+    /// Overwrite the dynamic cache state from [`VectorCache::encode_state`]
+    /// bytes. Fails with [`SnapError::Mismatch`] when the recorded geometry
+    /// differs from this cache's.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        let use_counter = d.u64()?;
+        let hits = d.u64()?;
+        let misses = d.u64()?;
+        let (banks, sets_per_bank, ways) = (d.usize()?, d.usize()?, d.usize()?);
+        if (banks, sets_per_bank, ways) != (self.banks, self.sets_per_bank, self.ways) {
+            return Err(SnapError::Mismatch(format!(
+                "cache geometry {banks}x{sets_per_bank}x{ways} != \
+                 {}x{}x{}",
+                self.banks, self.sets_per_bank, self.ways
+            )));
+        }
+        self.use_counter = use_counter;
+        self.hits = hits;
+        self.misses = misses;
+        for bank in &mut self.sets {
+            for set in bank {
+                for line in set {
+                    line.tag = d.u32()?;
+                    line.valid = d.bool()?;
+                    line.dirty = d.bool()?;
+                    line.lru = d.u64()?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Invalidate all contents and reset statistics.

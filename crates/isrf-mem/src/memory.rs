@@ -4,6 +4,7 @@
 //! type only holds data. Addresses are word addresses (not bytes), matching
 //! the 32-bit word machine.
 
+use isrf_core::snap::{read_sections, write_sections, Dec, Enc, SnapError};
 use isrf_core::Word;
 
 /// Words per lazily-allocated chunk (256 KB). Benchmarks place their
@@ -107,6 +108,79 @@ impl Memory {
         self.len = self.len.max(base as usize + data.len());
     }
 
+    /// Number of chunks currently backed by storage (the touched set —
+    /// sparse gaps between written regions allocate nothing).
+    pub fn touched_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Serialize the memory image sparsely: only touched chunks are
+    /// written, each as its own `c<index>` section after a `meta` section
+    /// carrying the high-water mark and touched-chunk count.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut secs: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut meta = Enc::new();
+        meta.usize(self.len);
+        meta.usize(self.touched_chunks());
+        secs.push(("meta".into(), meta.into_bytes()));
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            if let Some(chunk) = chunk {
+                let mut ce = Enc::new();
+                for &w in chunk.iter() {
+                    ce.u32(w);
+                }
+                secs.push((format!("c{i}"), ce.into_bytes()));
+            }
+        }
+        let mut e = Enc::new();
+        write_sections(&mut e, &secs);
+        e.into_bytes()
+    }
+
+    /// Replace this memory's contents with a snapshot produced by
+    /// [`Memory::encode_state`]. Untouched chunks stay unallocated.
+    pub fn decode_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let secs = read_sections(bytes)?;
+        let Some(meta) = secs.first().filter(|s| s.name == "meta") else {
+            return Err(SnapError::Mismatch("memory snapshot missing meta".into()));
+        };
+        let mut md = Dec::new(&meta.bytes);
+        let len = md.usize()?;
+        let touched = md.usize()?;
+        md.finish()?;
+        if touched != secs.len() - 1 {
+            return Err(SnapError::Mismatch(format!(
+                "memory snapshot claims {touched} chunks but carries {}",
+                secs.len() - 1
+            )));
+        }
+        let mut fresh = Memory {
+            chunks: Vec::new(),
+            len,
+        };
+        for sec in &secs[1..] {
+            let idx: usize = sec
+                .name
+                .strip_prefix('c')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    SnapError::Mismatch(format!("bad memory chunk section {:?}", sec.name))
+                })?;
+            let mut cd = Dec::new(&sec.bytes);
+            let mut chunk = vec![0; CHUNK_WORDS].into_boxed_slice();
+            for w in chunk.iter_mut() {
+                *w = cd.u32()?;
+            }
+            cd.finish()?;
+            if idx >= fresh.chunks.len() {
+                fresh.chunks.resize_with(idx + 1, || None);
+            }
+            fresh.chunks[idx] = Some(chunk);
+        }
+        *self = fresh;
+        Ok(())
+    }
+
     /// Gather the words at the given addresses, in order.
     pub fn gather(&self, addrs: &[u32]) -> Vec<Word> {
         addrs.iter().map(|&a| self.read(a)).collect()
@@ -174,6 +248,79 @@ mod tests {
         // Only two chunks are actually allocated.
         let backed = m.chunks.iter().filter(|c| c.is_some()).count();
         assert_eq!(backed, 2);
+    }
+
+    #[test]
+    fn reads_straddling_chunk_boundaries_resolve_per_chunk() {
+        let mut m = Memory::new();
+        // Back only the chunk *below* the boundary; the straddling read
+        // must mix real data with zeros from the unbacked side.
+        let base = (CHUNK_WORDS - 2) as u32;
+        m.write(base, 5);
+        m.write(base + 1, 6);
+        assert_eq!(m.read_block(base, 4), vec![5, 6, 0, 0]);
+        assert_eq!(m.touched_chunks(), 1);
+        // Now back only the chunk above and read across again.
+        m.write(base + 2, 7);
+        assert_eq!(m.read_block(base, 4), vec![5, 6, 7, 0]);
+        assert_eq!(m.touched_chunks(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_sparse_high_base_region() {
+        let mut m = Memory::new();
+        let high = (Memory::MAX_WORDS - CHUNK_WORDS) as u32;
+        m.write_block(high, &[11, 22, 33]);
+        m.write(3, 44);
+        let bytes = m.encode_state();
+        let mut back = Memory::new();
+        back.decode_state(&bytes).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.read(3), 44);
+        assert_eq!(back.read_block(high, 3), vec![11, 22, 33]);
+        assert_eq!(back.read(high / 2), 0, "gap stays zero");
+        // The gap stays unallocated after restore, too.
+        assert_eq!(back.touched_chunks(), 2);
+        // Re-serializing the restored image is byte-identical.
+        assert_eq!(back.encode_state(), bytes);
+    }
+
+    #[test]
+    fn snapshot_chunk_count_matches_touched_set() {
+        let mut m = Memory::new();
+        m.write(0, 1);
+        m.write((3 * CHUNK_WORDS + 17) as u32, 2);
+        m.write((9 * CHUNK_WORDS) as u32, 3);
+        assert_eq!(m.touched_chunks(), 3);
+        let secs = read_sections(&m.encode_state()).unwrap();
+        // One meta section plus exactly one section per touched chunk.
+        assert_eq!(secs.len(), 1 + m.touched_chunks());
+        let names: Vec<&str> = secs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["meta", "c0", "c3", "c9"]);
+        let mut md = Dec::new(&secs[0].bytes);
+        assert_eq!(md.usize().unwrap(), m.len());
+        assert_eq!(md.usize().unwrap(), 3);
+    }
+
+    #[test]
+    fn snapshot_of_empty_memory_round_trips() {
+        let m = Memory::new();
+        let bytes = m.encode_state();
+        let mut back = Memory::new();
+        back.write(5, 9); // stale contents must be discarded
+        back.decode_state(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.read(5), 0);
+        assert_eq!(back.touched_chunks(), 0);
+    }
+
+    #[test]
+    fn corrupt_memory_snapshot_is_rejected() {
+        let mut m = Memory::new();
+        m.write(1, 2);
+        let bytes = m.encode_state();
+        assert!(m.decode_state(&bytes[..bytes.len() - 1]).is_err());
+        assert!(m.decode_state(&[0u8; 4]).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use isrf_core::config::MachineConfig;
+use isrf_core::snap::{Dec, Enc, SnapError};
 use isrf_core::stats::SrfTraffic;
 use isrf_core::{word, Word};
 use isrf_kernel::ir::{Kernel, Opcode, StreamKind};
@@ -277,6 +278,185 @@ impl KernelRun {
     /// Iterations per cluster.
     pub fn iters(&self) -> u64 {
         self.iters
+    }
+
+    /// Serialize the dynamic state of an in-flight invocation: counters,
+    /// per-slot stream states, indexed streams, and the engine's iteration
+    /// contexts (tape ring or interpreter context queue). Static structure
+    /// (kernel, schedule, bindings, slot layout) is reconstructed from the
+    /// program on restore.
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        e.u64(self.t);
+        e.u64(self.advance_cycles);
+        e.u64(self.stall_cycles);
+        e.u64(self.consecutive_stalls);
+        e.u64(self.flush_cycles);
+        e.usize(self.rr_grant);
+        e.usize(self.rr_idx);
+        e.bool(self.comm_busy_prev);
+        e.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                SlotState::SeqIn(s) => {
+                    e.u8(0);
+                    s.encode_state(e);
+                }
+                SlotState::SeqOut(s) => {
+                    e.u8(1);
+                    s.encode_state(e);
+                }
+                SlotState::CondIn(s) => {
+                    e.u8(2);
+                    s.encode_state(e);
+                }
+                SlotState::CondLaneIn(s) => {
+                    e.u8(3);
+                    s.encode_state(e);
+                }
+                SlotState::CondOut(s) => {
+                    e.u8(4);
+                    s.encode_state(e);
+                }
+                SlotState::Idx(i) => {
+                    e.u8(5);
+                    e.usize(*i);
+                }
+            }
+        }
+        e.usize(self.idx_states.len());
+        for s in &self.idx_states {
+            s.encode_state(e);
+        }
+    }
+
+    /// Serialize the engine-specific iteration contexts (the tape's flat
+    /// context ring or the interpreter's per-iteration context queue).
+    /// Kept separate from [`KernelRun::encode_state`] so cross-engine
+    /// state comparison can skip exactly this representation-dependent
+    /// part.
+    pub(crate) fn encode_ctx(&self, e: &mut Enc) {
+        match self.engine {
+            ExecEngine::Tape => {
+                e.u8(0);
+                e.usize(self.ring.len());
+                for &w in &self.ring {
+                    e.u32(w);
+                }
+                e.u64(self.ring_next_zero);
+            }
+            ExecEngine::Interp => {
+                e.u8(1);
+                e.u64(self.ctx_base);
+                e.usize(self.ctxs.len());
+                for ctx in &self.ctxs {
+                    e.usize(ctx.len());
+                    for &w in ctx {
+                        e.u32(w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Overwrite the dynamic state of a freshly constructed run from
+    /// [`KernelRun::encode_state`] bytes. The run must already have been
+    /// built from the same kernel/schedule/bindings and placed on the same
+    /// engine ([`KernelRun::set_tape`] or [`KernelRun::set_engine`]).
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        self.t = d.u64()?;
+        self.advance_cycles = d.u64()?;
+        self.stall_cycles = d.u64()?;
+        self.consecutive_stalls = d.u64()?;
+        self.flush_cycles = d.u64()?;
+        self.rr_grant = d.usize()?;
+        self.rr_idx = d.usize()?;
+        self.comm_busy_prev = d.bool()?;
+        let n_slots = d.usize()?;
+        if n_slots != self.slots.len() {
+            return Err(SnapError::Mismatch(format!(
+                "kernel slot count {n_slots} != {}",
+                self.slots.len()
+            )));
+        }
+        for slot in &mut self.slots {
+            let tag = d.u8()?;
+            match (tag, slot) {
+                (0, SlotState::SeqIn(s)) => s.decode_state(d)?,
+                (1, SlotState::SeqOut(s)) => s.decode_state(d)?,
+                (2, SlotState::CondIn(s)) => s.decode_state(d)?,
+                (3, SlotState::CondLaneIn(s)) => s.decode_state(d)?,
+                (4, SlotState::CondOut(s)) => s.decode_state(d)?,
+                (5, SlotState::Idx(i)) => {
+                    let got = d.usize()?;
+                    if got != *i {
+                        return Err(SnapError::Mismatch(format!(
+                            "indexed slot points at stream {got}, expected {i}"
+                        )));
+                    }
+                }
+                (t, _) => {
+                    return Err(SnapError::Mismatch(format!(
+                        "slot kind tag {t} does not match the program's stream declaration"
+                    )));
+                }
+            }
+        }
+        let n_idx = d.usize()?;
+        if n_idx != self.idx_states.len() {
+            return Err(SnapError::Mismatch(format!(
+                "indexed stream count {n_idx} != {}",
+                self.idx_states.len()
+            )));
+        }
+        for s in &mut self.idx_states {
+            s.decode_state(d)?;
+        }
+        Ok(())
+    }
+
+    /// Restore the iteration contexts written by [`KernelRun::encode_ctx`].
+    /// The run must already be on the matching engine.
+    pub(crate) fn decode_ctx(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        match (d.u8()?, self.engine) {
+            (0, ExecEngine::Tape) => {
+                let ring_len = d.usize()?;
+                if ring_len != self.ring.len() {
+                    return Err(SnapError::Mismatch(format!(
+                        "tape ring length {ring_len} != {}",
+                        self.ring.len()
+                    )));
+                }
+                for w in &mut self.ring {
+                    *w = d.u32()?;
+                }
+                self.ring_next_zero = d.u64()?;
+            }
+            (1, ExecEngine::Interp) => {
+                self.ctx_base = d.u64()?;
+                let n_ctxs = d.usize()?;
+                self.ctxs.clear();
+                let ctx_words = self.kernel.ops.len() * self.lanes;
+                for _ in 0..n_ctxs {
+                    let len = d.usize()?;
+                    if len != ctx_words {
+                        return Err(SnapError::Mismatch(format!(
+                            "iteration context holds {len} words, expected {ctx_words}"
+                        )));
+                    }
+                    let mut ctx = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        ctx.push(d.u32()?);
+                    }
+                    self.ctxs.push_back(ctx);
+                }
+            }
+            (t, engine) => {
+                return Err(SnapError::Mismatch(format!(
+                    "engine tag {t} does not match restored engine {engine:?}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Steady-state loop-body cycles (`iters × II`).

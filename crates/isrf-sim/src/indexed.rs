@@ -25,6 +25,7 @@
 use std::collections::VecDeque;
 
 use isrf_core::config::{CrossLaneTopology, MachineConfig};
+use isrf_core::snap::{Dec, Enc, SnapError};
 use isrf_core::stats::SrfTraffic;
 use isrf_core::Word;
 use isrf_trace::{IdxRejectReason, TraceEvent, Tracer};
@@ -259,6 +260,92 @@ impl IdxState {
             + (record / lanes as u32) * self.binding.record_words
             + head_word;
         (lane, offset)
+    }
+
+    /// Serialize the dynamic state: every lane's address FIFO (with write
+    /// payloads), head-expansion cursor, in-flight words, and ready data.
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        e.usize(self.lanes.len());
+        for lane in &self.lanes {
+            e.usize(lane.addr_fifo.len());
+            for req in &lane.addr_fifo {
+                e.u32(req.record);
+                match &req.data {
+                    IdxData::None => e.u8(0),
+                    IdxData::One(w) => {
+                        e.u8(1);
+                        e.u32(*w);
+                    }
+                    IdxData::Many(v) => {
+                        e.u8(2);
+                        e.usize(v.len());
+                        for &w in v {
+                            e.u32(w);
+                        }
+                    }
+                }
+            }
+            e.u32(lane.head_word);
+            e.usize(lane.inflight.len());
+            for &(t, w) in &lane.inflight {
+                e.u64(t);
+                e.u32(w);
+            }
+            e.usize(lane.data.len());
+            for &w in &lane.data {
+                e.u32(w);
+            }
+        }
+        e.usize(self.addr_entries);
+        e.usize(self.inflight_words);
+    }
+
+    /// Overwrite the dynamic state from [`IdxState::encode_state`] bytes.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        let n = d.usize()?;
+        if n != self.lanes.len() {
+            return Err(SnapError::Mismatch(format!(
+                "indexed stream lane count {n} != {}",
+                self.lanes.len()
+            )));
+        }
+        for lane in &mut self.lanes {
+            lane.addr_fifo.clear();
+            let reqs = d.usize()?;
+            for _ in 0..reqs {
+                let record = d.u32()?;
+                let data = match d.u8()? {
+                    0 => IdxData::None,
+                    1 => IdxData::One(d.u32()?),
+                    2 => {
+                        let len = d.usize()?;
+                        let mut v = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            v.push(d.u32()?);
+                        }
+                        IdxData::Many(v)
+                    }
+                    t => return Err(SnapError::Mismatch(format!("unknown IdxData tag {t}"))),
+                };
+                lane.addr_fifo.push_back(IdxReq { record, data });
+            }
+            lane.head_word = d.u32()?;
+            lane.inflight.clear();
+            let inflight = d.usize()?;
+            for _ in 0..inflight {
+                let t = d.u64()?;
+                let w = d.u32()?;
+                lane.inflight.push_back((t, w));
+            }
+            lane.data.clear();
+            let ready = d.usize()?;
+            for _ in 0..ready {
+                lane.data.push_back(d.u32()?);
+            }
+        }
+        self.addr_entries = d.usize()?;
+        self.inflight_words = d.usize()?;
+        Ok(())
     }
 }
 

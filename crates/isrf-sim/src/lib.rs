@@ -20,6 +20,9 @@
 //!   stores/scatters with explicit dependences).
 //! * [`machine`] — the top-level machine: runs programs, overlaps memory
 //!   with kernels, and attributes every cycle to the Figure 12 breakdown.
+//! * [`snapshot`] — the cycle-granular snapshot format
+//!   ([`Machine::save_state`] / [`Machine::restore_state`]) and the
+//!   structural snapshot diff used by the first-divergence bisector.
 //! * [`verify`] — the static-verification interface: a
 //!   [`ProgramVerifier`] installed on a machine checks programs before
 //!   they are simulated (the analyzer itself lives in `isrf-verify`).
@@ -83,6 +86,7 @@ pub mod exec;
 pub mod indexed;
 pub mod machine;
 pub mod program;
+pub mod snapshot;
 pub mod srf;
 pub mod stream;
 pub mod tape;
@@ -94,6 +98,7 @@ pub use indexed::{
 };
 pub use machine::Machine;
 pub use program::{ProgOp, ProgOpId, StreamProgram};
+pub use snapshot::{diff_snapshots, SnapshotDiff};
 pub use srf::{Srf, SrfRange};
 pub use stream::StreamBinding;
 pub use tape::{cached_tape, CompiledTape};

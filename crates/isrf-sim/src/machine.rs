@@ -18,7 +18,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use isrf_core::config::{ConfigError, MachineConfig};
-use isrf_core::stats::RunStats;
+use isrf_core::snap::{self, Dec, Enc, SnapError};
+use isrf_core::stats::{MemTraffic, RunStats};
 use isrf_core::Word;
 use isrf_kernel::ir::Kernel;
 use isrf_kernel::sched::Schedule;
@@ -38,8 +39,31 @@ struct PendingTransfer {
     fill: Option<(StreamBinding, Vec<Word>)>,
 }
 
+/// Sequencer loop state of an in-flight program run, parked on the machine
+/// between [`Machine::run_for`] slices. Structures derivable from the
+/// program alone (dependents lists, the kernel index list, the port block
+/// size) are rebuilt on every slice instead of being stored.
+#[derive(Debug)]
+struct RunState {
+    /// Cumulative stats at run start (the final delta subtracts these).
+    start_stats: RunStats,
+    /// Memory traffic at run start.
+    mem_start: MemTraffic,
+    done: Vec<bool>,
+    pending_deps: Vec<u32>,
+    /// Memory ops whose dependences are complete, not yet issued.
+    ready_mem: Vec<usize>,
+    /// Cursor into the program-order kernel list.
+    next_kernel: usize,
+    /// The dispatched kernel, if any: `(program op index, run)`.
+    kernel_run: Option<(usize, KernelRun)>,
+    kernel_dispatch_left: u32,
+    completed: usize,
+    live_transfers: usize,
+}
+
 use crate::program::{ProgOp, StreamProgram};
-use crate::srf::Srf;
+use crate::srf::{Srf, SrfRange};
 use crate::stream::StreamBinding;
 use crate::verify::{ProgramVerifier, VerifyEnv, VerifyError, VerifyPolicy};
 
@@ -75,6 +99,8 @@ pub struct Machine {
     filled: Vec<(u32, u32)>,
     /// Kernel execution engine installed on every dispatched run.
     engine: ExecEngine,
+    /// Loop state of a program paused mid-run by [`Machine::run_for`].
+    active: Option<RunState>,
     /// Per-machine tape memo keyed by `(kernel, schedule)` Arc identity,
     /// skipping the content-hash lookup on repeat dispatches. The Arcs
     /// are pinned in the entry so pointer keys stay valid.
@@ -106,6 +132,7 @@ impl Machine {
             verify_policy: VerifyPolicy::default(),
             filled: Vec::new(),
             engine: ExecEngine::default(),
+            active: None,
             tape_memo: BTreeMap::new(),
             cfg,
         })
@@ -118,6 +145,11 @@ impl Machine {
     /// available for differential testing and triage.
     pub fn set_engine(&mut self, engine: ExecEngine) {
         self.engine = engine;
+    }
+
+    /// The kernel execution engine installed on subsequent dispatches.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// The compiled tape for `(kernel, sched)`, via the per-machine
@@ -468,27 +500,389 @@ impl Machine {
     /// The verifier's diagnostics, when the policy is active and the
     /// program is not clean.
     pub fn run_checked(&mut self, program: &StreamProgram) -> Result<RunStats, VerifyError> {
-        if self.verifier.is_some() && self.verify_policy.active() {
+        if self.active.is_none() && self.verifier.is_some() && self.verify_policy.active() {
             self.verify_program(program)?;
         }
-        let stats = self.run_inner(program);
+        let stats = self
+            .run_budget(program, u64::MAX)
+            .expect("unbounded run completes");
         self.note_program_fills(program);
         Ok(stats)
     }
 
-    fn run_inner(&mut self, program: &StreamProgram) -> RunStats {
-        let start_stats = self.stats;
-        let mem_start = self.mem.traffic();
+    /// Run `program` for at most `max_cycles` machine cycles, pausing the
+    /// sequencer in place when the budget runs out.
+    ///
+    /// Returns `Some(stats)` when the program completed within the budget
+    /// (the run's stats delta, exactly as [`Machine::run`] would have
+    /// returned), or `None` when it paused; call `run_for` (or
+    /// [`Machine::run`]) again **with the same program** to continue. A
+    /// paused-and-resumed run is byte-identical — stats, traces, memory —
+    /// to an uninterrupted one. Snapshot the paused machine with
+    /// [`Machine::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::run`]: verification failures (checked only when
+    /// starting fresh, not when resuming) and deadlock panic.
+    pub fn run_for(&mut self, program: &StreamProgram, max_cycles: u64) -> Option<RunStats> {
+        if self.active.is_none() && self.verifier.is_some() && self.verify_policy.active() {
+            self.verify_program(program)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+        let stats = self.run_budget(program, max_cycles);
+        if stats.is_some() {
+            self.note_program_fills(program);
+        }
+        stats
+    }
+
+    /// True while a [`Machine::run_for`] slice has left a program paused
+    /// mid-run on this machine.
+    pub fn mid_run(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Serialize the machine's complete dynamic architectural state —
+    /// including a program paused by [`Machine::run_for`] — into the
+    /// versioned, content-hashed snapshot frame (DESIGN.md §12).
+    ///
+    /// The snapshot captures everything the simulation reads: cycle
+    /// counter, statistics, SRF banks, lane scratchpads, the memory system
+    /// (contents, cache arrays, in-flight transfers), the pending-transfer
+    /// slab, and the paused sequencer loop (stream buffers, address FIFOs,
+    /// kernel cursors, iteration contexts). Derived caches (compiled
+    /// tapes, tracers, verifiers) are not stored; they are reconstructed
+    /// deterministically on restore. `program` must be the program the
+    /// paused run executes; restoring requires the same program and
+    /// machine configuration (validated by fingerprint).
+    ///
+    /// Two snapshots of identical architectural state are byte-identical,
+    /// and `snapshot → restore → run` matches an uninterrupted run in
+    /// stats, traces, and memory.
+    pub fn save_state(&self, program: &StreamProgram) -> Vec<u8> {
+        let mut meta = Enc::new();
+        meta.u64(snap::fnv1a(format!("{:?}", self.cfg).as_bytes()));
+        meta.u64(snap::fnv1a(format!("{program:?}").as_bytes()));
+        meta.u8(match self.engine {
+            ExecEngine::Tape => 0,
+            ExecEngine::Interp => 1,
+        });
+        meta.bool(self.quiesce_skip);
+        meta.u64(self.now);
+        meta.f64(self.mem_port_words);
+        self.stats.encode_state(&mut meta);
+
+        let mut scratch = Enc::new();
+        scratch.usize(self.scratch.len());
+        for lane in &self.scratch {
+            scratch.usize(lane.len());
+            for &w in lane {
+                scratch.u32(w);
+            }
+        }
+
+        let mut filled = Enc::new();
+        filled.usize(self.filled.len());
+        for &(lo, hi) in &self.filled {
+            filled.u32(lo);
+            filled.u32(hi);
+        }
+
+        let mut pending = Enc::new();
+        pending.usize(self.pending.len());
+        for slot in &self.pending {
+            match slot {
+                None => pending.bool(false),
+                Some(pt) => {
+                    pending.bool(true);
+                    pending.usize(pt.op);
+                    match &pt.fill {
+                        None => pending.bool(false),
+                        Some((b, data)) => {
+                            pending.bool(true);
+                            encode_binding(b, &mut pending);
+                            pending.usize(data.len());
+                            for &w in data {
+                                pending.u32(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut srf = Enc::new();
+        self.srf.encode_state(&mut srf);
+
+        let mut run = Enc::new();
+        let mut kctx = Enc::new();
+        match &self.active {
+            None => run.bool(false),
+            Some(rs) => {
+                run.bool(true);
+                rs.start_stats.encode_state(&mut run);
+                rs.mem_start.encode_state(&mut run);
+                run.usize(rs.done.len());
+                for &d in &rs.done {
+                    run.bool(d);
+                }
+                for &p in &rs.pending_deps {
+                    run.u32(p);
+                }
+                run.usize(rs.ready_mem.len());
+                for &i in &rs.ready_mem {
+                    run.usize(i);
+                }
+                run.usize(rs.next_kernel);
+                run.u32(rs.kernel_dispatch_left);
+                run.usize(rs.completed);
+                run.usize(rs.live_transfers);
+                match &rs.kernel_run {
+                    None => run.bool(false),
+                    Some((ki, kr)) => {
+                        run.bool(true);
+                        run.usize(*ki);
+                        kr.encode_state(&mut run);
+                        // Engine-specific iteration contexts live in their
+                        // own section so cross-engine state comparison can
+                        // skip exactly the representation-dependent part.
+                        kr.encode_ctx(&mut kctx);
+                    }
+                }
+            }
+        }
+
+        let mut payload = Enc::new();
+        snap::write_sections(
+            &mut payload,
+            &[
+                ("meta", meta.into_bytes()),
+                ("scratch", scratch.into_bytes()),
+                ("filled", filled.into_bytes()),
+                ("pending", pending.into_bytes()),
+                ("srf", srf.into_bytes()),
+                ("mem", self.mem.encode_state()),
+                ("run", run.into_bytes()),
+                ("kctx", kctx.into_bytes()),
+            ],
+        );
+        snap::frame(&payload.into_bytes())
+    }
+
+    /// Restore the machine to a snapshot taken by [`Machine::save_state`].
+    ///
+    /// The machine must be built from the same configuration and `program`
+    /// must be (structurally) the same program as at capture — both are
+    /// validated by fingerprint before anything is overwritten. Tracer,
+    /// verifier, and engine-selection caches are left untouched, so a
+    /// restored machine can trace or verify independently of the one that
+    /// captured the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`]: frame corruption, version mismatch, or a
+    /// structurally valid snapshot that does not fit this machine or
+    /// program. On error after the fingerprint checks the machine state is
+    /// unspecified; restore again (or rebuild the machine) before use.
+    pub fn restore_state(
+        &mut self,
+        program: &StreamProgram,
+        bytes: &[u8],
+    ) -> Result<(), SnapError> {
+        let payload = snap::unframe(bytes)?;
+        let sections = snap::read_sections(payload)?;
+        let get = |name: &str| -> Result<&[u8], SnapError> {
+            sections
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.bytes.as_slice())
+                .ok_or_else(|| SnapError::Mismatch(format!("snapshot lacks section \"{name}\"")))
+        };
+
+        let mut meta = Dec::new(get("meta")?);
+        let cfg_fp = meta.u64()?;
+        if cfg_fp != snap::fnv1a(format!("{:?}", self.cfg).as_bytes()) {
+            return Err(SnapError::Mismatch(
+                "snapshot was taken on a different machine configuration".into(),
+            ));
+        }
+        let prog_fp = meta.u64()?;
+        if prog_fp != snap::fnv1a(format!("{program:?}").as_bytes()) {
+            return Err(SnapError::Mismatch(
+                "snapshot was taken running a different program".into(),
+            ));
+        }
+        let engine = match meta.u8()? {
+            0 => ExecEngine::Tape,
+            1 => ExecEngine::Interp,
+            t => return Err(SnapError::Mismatch(format!("unknown engine tag {t}"))),
+        };
+        self.engine = engine;
+        self.quiesce_skip = meta.bool()?;
+        self.now = meta.u64()?;
+        self.mem_port_words = meta.f64()?;
+        self.stats = RunStats::decode_state(&mut meta)?;
+        meta.finish()?;
+
+        let mut sc = Dec::new(get("scratch")?);
+        let lanes = sc.usize()?;
+        if lanes != self.scratch.len() {
+            return Err(SnapError::Mismatch(format!(
+                "scratchpad lane count {lanes} != {}",
+                self.scratch.len()
+            )));
+        }
+        for lane in &mut self.scratch {
+            let len = sc.usize()?;
+            if len != lane.len() {
+                return Err(SnapError::Mismatch(format!(
+                    "scratchpad holds {len} words, expected {}",
+                    lane.len()
+                )));
+            }
+            for w in lane.iter_mut() {
+                *w = sc.u32()?;
+            }
+        }
+        sc.finish()?;
+
+        let mut fl = Dec::new(get("filled")?);
+        let n_filled = fl.usize()?;
+        self.filled.clear();
+        for _ in 0..n_filled {
+            let lo = fl.u32()?;
+            let hi = fl.u32()?;
+            self.filled.push((lo, hi));
+        }
+        fl.finish()?;
+
+        let mut pd = Dec::new(get("pending")?);
+        let slots = pd.usize()?;
+        self.pending.clear();
+        for _ in 0..slots {
+            if !pd.bool()? {
+                self.pending.push(None);
+                continue;
+            }
+            let op = pd.usize()?;
+            let fill = if pd.bool()? {
+                let b = decode_binding(&mut pd)?;
+                let len = pd.usize()?;
+                let mut data = Vec::with_capacity(len);
+                for _ in 0..len {
+                    data.push(pd.u32()?);
+                }
+                Some((b, data))
+            } else {
+                None
+            };
+            self.pending.push(Some(PendingTransfer { op, fill }));
+        }
+        pd.finish()?;
+
+        let mut sr = Dec::new(get("srf")?);
+        self.srf.decode_state(&mut sr)?;
+        sr.finish()?;
+
+        self.mem.decode_state(get("mem")?)?;
+
+        let mut rn = Dec::new(get("run")?);
+        self.active = if rn.bool()? {
+            let start_stats = RunStats::decode_state(&mut rn)?;
+            let mem_start = MemTraffic::decode_state(&mut rn)?;
+            let n_ops = rn.usize()?;
+            if n_ops != program.len() {
+                return Err(SnapError::Mismatch(format!(
+                    "paused run covers {n_ops} ops, program has {}",
+                    program.len()
+                )));
+            }
+            let mut done = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                done.push(rn.bool()?);
+            }
+            let mut pending_deps = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                pending_deps.push(rn.u32()?);
+            }
+            let n_ready = rn.usize()?;
+            let mut ready_mem = Vec::with_capacity(n_ready);
+            for _ in 0..n_ready {
+                ready_mem.push(rn.usize()?);
+            }
+            let next_kernel = rn.usize()?;
+            let kernel_dispatch_left = rn.u32()?;
+            let completed = rn.usize()?;
+            let live_transfers = rn.usize()?;
+            let kernel_run = if rn.bool()? {
+                let ki = rn.usize()?;
+                let Some(node) = program.nodes.get(ki) else {
+                    return Err(SnapError::Mismatch(format!(
+                        "paused kernel index {ki} out of program range"
+                    )));
+                };
+                let ProgOp::Kernel {
+                    kernel,
+                    schedule,
+                    bindings,
+                    iters,
+                } = &node.op
+                else {
+                    return Err(SnapError::Mismatch(format!(
+                        "paused run points at op {ki}, which is not a kernel"
+                    )));
+                };
+                let mut kr = KernelRun::new(
+                    &self.cfg,
+                    Arc::clone(kernel),
+                    Arc::clone(schedule),
+                    bindings,
+                    *iters,
+                );
+                match engine {
+                    ExecEngine::Tape => {
+                        let tape = self.tape_for(kernel, schedule);
+                        kr.set_tape(tape);
+                    }
+                    ExecEngine::Interp => kr.set_engine(ExecEngine::Interp),
+                }
+                kr.decode_state(&mut rn)?;
+                let mut kc = Dec::new(get("kctx")?);
+                kr.decode_ctx(&mut kc)?;
+                kc.finish()?;
+                Some((ki, kr))
+            } else {
+                None
+            };
+            Some(RunState {
+                start_stats,
+                mem_start,
+                done,
+                pending_deps,
+                ready_mem,
+                next_kernel,
+                kernel_run,
+                kernel_dispatch_left,
+                completed,
+                live_transfers,
+            })
+        } else {
+            None
+        };
+        rn.finish()?;
+        Ok(())
+    }
+
+    fn run_budget(&mut self, program: &StreamProgram, budget: u64) -> Option<RunStats> {
         let n = program.len();
-        let mut done = vec![false; n];
-        // Dependence bookkeeping resolved at program issue: an op becomes
-        // ready the moment its last dependence completes — the per-cycle
-        // path never rescans the program.
-        let mut pending_deps: Vec<u32> = vec![0; n];
+        // Program-derived structures, rebuilt on every slice (cheap, and
+        // identical across pause/resume since the program is unchanged):
+        // an op becomes ready the moment its last dependence completes —
+        // the per-cycle path never rescans the program.
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut kernels: Vec<usize> = Vec::new();
         for (i, node) in program.nodes.iter().enumerate() {
-            pending_deps[i] = node.deps.len() as u32;
             for d in &node.deps {
                 dependents[d.0].push(i);
             }
@@ -496,35 +890,59 @@ impl Machine {
                 kernels.push(i);
             }
         }
-        let mut ready_mem: Vec<usize> = (0..n)
-            .filter(|&i| {
-                pending_deps[i] == 0 && !matches!(program.nodes[i].op, ProgOp::Kernel { .. })
-            })
-            .collect();
-        let mut next_kernel = 0usize; // kernels execute in program order
-        let mut kernel_run: Option<(usize, KernelRun)> = None;
-        let mut kernel_dispatch_left: u32 = 0;
-        let mut completed = 0usize;
-        let mut live_transfers = 0usize;
         let block = (self.cfg.lanes * self.cfg.srf.words_per_seq_access) as f64;
+        let mut rs = self.active.take().unwrap_or_else(|| {
+            let mut pending_deps: Vec<u32> = vec![0; n];
+            for (i, node) in program.nodes.iter().enumerate() {
+                pending_deps[i] = node.deps.len() as u32;
+            }
+            let ready_mem: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    pending_deps[i] == 0 && !matches!(program.nodes[i].op, ProgOp::Kernel { .. })
+                })
+                .collect();
+            RunState {
+                start_stats: self.stats,
+                mem_start: self.mem.traffic(),
+                done: vec![false; n],
+                pending_deps,
+                ready_mem,
+                next_kernel: 0, // kernels execute in program order
+                kernel_run: None,
+                kernel_dispatch_left: 0,
+                completed: 0,
+                live_transfers: 0,
+            }
+        });
+        if rs.done.len() != n {
+            panic!(
+                "resumed with a different program ({n} ops, paused run has {})",
+                rs.done.len()
+            );
+        }
+        let mut used: u64 = 0;
 
-        while completed < n {
+        while rs.completed < n {
+            if used >= budget {
+                self.active = Some(rs);
+                return None;
+            }
             // Start ready memory ops (ascending op order, matching the
             // program scan this replaces).
-            if !ready_mem.is_empty() {
-                ready_mem.sort_unstable();
-                for i in ready_mem.drain(..) {
+            if !rs.ready_mem.is_empty() {
+                rs.ready_mem.sort_unstable();
+                for i in rs.ready_mem.drain(..) {
                     self.issue_mem_op(program, i);
-                    live_transfers += 1;
+                    rs.live_transfers += 1;
                 }
             }
             // Dispatch the next kernel (in program order) when ready.
-            while next_kernel < kernels.len() && done[kernels[next_kernel]] {
-                next_kernel += 1;
+            while rs.next_kernel < kernels.len() && rs.done[kernels[rs.next_kernel]] {
+                rs.next_kernel += 1;
             }
-            if kernel_run.is_none() && next_kernel < kernels.len() {
-                let ki = kernels[next_kernel];
-                if pending_deps[ki] == 0 {
+            if rs.kernel_run.is_none() && rs.next_kernel < kernels.len() {
+                let ki = kernels[rs.next_kernel];
+                if rs.pending_deps[ki] == 0 {
                     if let ProgOp::Kernel {
                         kernel,
                         schedule,
@@ -555,8 +973,8 @@ impl Machine {
                             }
                             ExecEngine::Interp => run.set_engine(ExecEngine::Interp),
                         }
-                        kernel_run = Some((ki, run));
-                        kernel_dispatch_left = self.cfg.kernel_dispatch_cycles;
+                        rs.kernel_run = Some((ki, run));
+                        rs.kernel_dispatch_left = self.cfg.kernel_dispatch_cycles;
                     }
                 }
             }
@@ -567,15 +985,17 @@ impl Machine {
             // next completion in a pure memory stall, so take them all at
             // once. `advance_idle` replays the credit refill cycle by
             // cycle, so this is bit-identical to ticking; the port-debt
-            // gate keeps any PortPreempted cycle on the slow path.
+            // gate keeps any PortPreempted cycle on the slow path. The
+            // budget clamp pauses mid-stall without observable difference:
+            // the remaining stall cycles replay identically on resume.
             if self.quiesce_skip
-                && kernel_run.is_none()
-                && live_transfers > 0
+                && rs.kernel_run.is_none()
+                && rs.live_transfers > 0
                 && self.mem.inflight_count() == 0
                 && self.mem_port_words < block
             {
                 if let Some(t) = self.mem.next_completion_time() {
-                    let skip = t.saturating_sub(self.now + 1);
+                    let skip = t.saturating_sub(self.now + 1).min(budget - used - 1);
                     if skip > 0 {
                         if self.tracer.enabled() {
                             for c in 1..=skip {
@@ -587,6 +1007,7 @@ impl Machine {
                         self.now += skip;
                         self.stats.breakdown.mem_stall += skip;
                         self.stats.cycles += skip;
+                        used += skip;
                     }
                 }
             }
@@ -613,7 +1034,7 @@ impl Machine {
                 let Some(pt) = self.pending.get_mut(id.slot()).and_then(Option::take) else {
                     continue; // issued directly on the memory system, not ours
                 };
-                live_transfers -= 1;
+                rs.live_transfers -= 1;
                 if let Some((dst, data)) = pt.fill {
                     for (k, &v) in data.iter().enumerate() {
                         self.srf.write_stream_word(
@@ -627,11 +1048,11 @@ impl Machine {
                 complete_op(
                     pt.op,
                     program,
-                    &mut done,
-                    &mut completed,
-                    &mut pending_deps,
+                    &mut rs.done,
+                    &mut rs.completed,
+                    &mut rs.pending_deps,
                     &dependents,
-                    &mut ready_mem,
+                    &mut rs.ready_mem,
                 );
                 if self.tracer.enabled() {
                     self.tracer.emit(
@@ -645,9 +1066,9 @@ impl Machine {
             }
 
             // Advance the kernel (or attribute the idle cycle).
-            if let Some((ki, run)) = &mut kernel_run {
-                if kernel_dispatch_left > 0 {
-                    kernel_dispatch_left -= 1;
+            if let Some((ki, run)) = &mut rs.kernel_run {
+                if rs.kernel_dispatch_left > 0 {
+                    rs.kernel_dispatch_left -= 1;
                     self.stats.breakdown.overhead += 1;
                     if self.tracer.enabled() {
                         self.tracer
@@ -710,24 +1131,24 @@ impl Machine {
                             complete_op(
                                 i,
                                 program,
-                                &mut done,
-                                &mut completed,
-                                &mut pending_deps,
+                                &mut rs.done,
+                                &mut rs.completed,
+                                &mut rs.pending_deps,
                                 &dependents,
-                                &mut ready_mem,
+                                &mut rs.ready_mem,
                             );
-                            kernel_run = None;
+                            rs.kernel_run = None;
                             self.stats.breakdown.overhead += 1; // this cycle
                         }
                     }
                 }
-            } else if live_transfers > 0 {
+            } else if rs.live_transfers > 0 {
                 self.stats.breakdown.mem_stall += 1;
                 if self.tracer.enabled() {
                     self.tracer
                         .emit(self.now, TraceEvent::Cycle(CycleAttr::MemStall));
                 }
-            } else if completed < n {
+            } else if rs.completed < n {
                 // Waiting on nothing measurable (e.g. dependence chains of
                 // zero-length ops); attribute to overhead.
                 self.stats.breakdown.overhead += 1;
@@ -737,29 +1158,56 @@ impl Machine {
                 }
             }
             self.stats.cycles += 1;
+            used += 1;
 
             assert!(
-                self.stats.cycles - (start_stats.cycles) < 1_000_000_000,
+                self.stats.cycles - (rs.start_stats.cycles) < 1_000_000_000,
                 "program appears deadlocked"
             );
         }
 
         self.stats.mem = self.mem.traffic();
         let mut delta = self.stats;
-        delta.cycles -= start_stats.cycles;
-        delta.main_loop_cycles -= start_stats.main_loop_cycles;
-        delta.breakdown.kernel_loop -= start_stats.breakdown.kernel_loop;
-        delta.breakdown.mem_stall -= start_stats.breakdown.mem_stall;
-        delta.breakdown.srf_stall -= start_stats.breakdown.srf_stall;
-        delta.breakdown.overhead -= start_stats.breakdown.overhead;
-        delta.srf.seq_words -= start_stats.srf.seq_words;
-        delta.srf.inlane_words -= start_stats.srf.inlane_words;
-        delta.srf.crosslane_words -= start_stats.srf.crosslane_words;
-        delta.mem.bytes_read -= mem_start.bytes_read;
-        delta.mem.bytes_written -= mem_start.bytes_written;
-        delta.mem.cache_hit_bytes -= mem_start.cache_hit_bytes;
-        delta
+        delta.cycles -= rs.start_stats.cycles;
+        delta.main_loop_cycles -= rs.start_stats.main_loop_cycles;
+        delta.breakdown.kernel_loop -= rs.start_stats.breakdown.kernel_loop;
+        delta.breakdown.mem_stall -= rs.start_stats.breakdown.mem_stall;
+        delta.breakdown.srf_stall -= rs.start_stats.breakdown.srf_stall;
+        delta.breakdown.overhead -= rs.start_stats.breakdown.overhead;
+        delta.srf.seq_words -= rs.start_stats.srf.seq_words;
+        delta.srf.inlane_words -= rs.start_stats.srf.inlane_words;
+        delta.srf.crosslane_words -= rs.start_stats.srf.crosslane_words;
+        delta.mem.bytes_read -= rs.mem_start.bytes_read;
+        delta.mem.bytes_written -= rs.mem_start.bytes_written;
+        delta.mem.cache_hit_bytes -= rs.mem_start.cache_hit_bytes;
+        Some(delta)
     }
+}
+
+/// Write a [`StreamBinding`] into a snapshot encoder (seven `u32` fields).
+fn encode_binding(b: &StreamBinding, e: &mut Enc) {
+    e.u32(b.range.base);
+    e.u32(b.range.words_per_bank);
+    e.u32(b.record_words);
+    e.u32(b.records);
+    e.u32(b.start_record);
+    e.u32(b.run_records);
+    e.u32(b.stride_records);
+}
+
+/// Read a [`StreamBinding`] written by [`encode_binding`].
+fn decode_binding(d: &mut Dec) -> Result<StreamBinding, SnapError> {
+    Ok(StreamBinding {
+        range: SrfRange {
+            base: d.u32()?,
+            words_per_bank: d.u32()?,
+        },
+        record_words: d.u32()?,
+        records: d.u32()?,
+        start_record: d.u32()?,
+        run_records: d.u32()?,
+        stride_records: d.u32()?,
+    })
 }
 
 /// Retire op `i`: mark it done and push any newly unblocked memory ops

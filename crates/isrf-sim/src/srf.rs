@@ -15,6 +15,7 @@
 //! 1` this is plain word interleaving.
 
 use isrf_core::config::MachineConfig;
+use isrf_core::snap::{Dec, Enc, SnapError};
 use isrf_core::Word;
 
 /// A per-bank word interval, replicated at the same offset in every bank.
@@ -181,6 +182,39 @@ impl Srf {
         (0..words)
             .map(|w| self.read_stream_word(range, record_words, w))
             .collect()
+    }
+
+    /// Serialize the dynamic SRF state: bank contents and the allocator
+    /// high-water mark. Geometry is recorded only for validation — the
+    /// decoder's SRF must already be built from the same configuration.
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        e.u32(self.next_free);
+        e.usize(self.lanes);
+        e.u32(self.bank_words);
+        for bank in &self.data {
+            for &w in bank {
+                e.u32(w);
+            }
+        }
+    }
+
+    /// Overwrite the dynamic SRF state from [`Srf::encode_state`] bytes.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        let next_free = d.u32()?;
+        let (lanes, bank_words) = (d.usize()?, d.u32()?);
+        if (lanes, bank_words) != (self.lanes, self.bank_words) {
+            return Err(SnapError::Mismatch(format!(
+                "SRF geometry {lanes} lanes x {bank_words} words != {} x {}",
+                self.lanes, self.bank_words
+            )));
+        }
+        self.next_free = next_free;
+        for bank in &mut self.data {
+            for w in bank.iter_mut() {
+                *w = d.u32()?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::collections::VecDeque;
 
+use isrf_core::snap::{Dec, Enc, SnapError};
 use isrf_core::Word;
 
 use crate::srf::{Srf, SrfRange};
@@ -166,6 +167,33 @@ fn lane_cursors(b: &StreamBinding, lanes: usize) -> Vec<LaneCursor> {
         .collect()
 }
 
+/// Serialize a cursor set (count-prefixed for validation on decode).
+fn encode_cursors(cursors: &[LaneCursor], e: &mut Enc) {
+    e.usize(cursors.len());
+    for c in cursors {
+        e.u32(c.next_k);
+        e.u32(c.next_word);
+        e.u32(c.remaining);
+    }
+}
+
+/// Overwrite a cursor set from [`encode_cursors`] bytes.
+fn decode_cursors(cursors: &mut [LaneCursor], d: &mut Dec) -> Result<(), SnapError> {
+    let n = d.usize()?;
+    if n != cursors.len() {
+        return Err(SnapError::Mismatch(format!(
+            "lane cursor count {n} != {}",
+            cursors.len()
+        )));
+    }
+    for c in cursors {
+        c.next_k = d.u32()?;
+        c.next_word = d.u32()?;
+        c.remaining = d.u32()?;
+    }
+    Ok(())
+}
+
 impl LaneCursor {
     /// Per-bank SRF offset of the next word, then advance.
     fn advance(&mut self, b: &StreamBinding, lanes: usize) -> u32 {
@@ -263,6 +291,34 @@ impl SeqInState {
     pub fn buffered_words(&self, lane: usize) -> usize {
         self.bufs[lane].len()
     }
+
+    /// Serialize the dynamic state (cursors and buffered words). The
+    /// binding and capacities come from the constructor on decode.
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        encode_cursors(&self.cursors, e);
+        for b in &self.bufs {
+            e.usize(b.len());
+            for &(t, w) in b {
+                e.u64(t);
+                e.u32(w);
+            }
+        }
+    }
+
+    /// Overwrite the dynamic state from [`SeqInState::encode_state`] bytes.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        decode_cursors(&mut self.cursors, d)?;
+        for b in &mut self.bufs {
+            b.clear();
+            let n = d.usize()?;
+            for _ in 0..n {
+                let t = d.u64()?;
+                let w = d.u32()?;
+                b.push_back((t, w));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Sequential output stream state.
@@ -338,6 +394,30 @@ impl SeqOutState {
     pub fn pending_words(&self, lane: usize) -> usize {
         self.bufs[lane].len()
     }
+
+    /// Serialize the dynamic state (cursors and buffered words).
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        encode_cursors(&self.cursors, e);
+        for b in &self.bufs {
+            e.usize(b.len());
+            for &w in b {
+                e.u32(w);
+            }
+        }
+    }
+
+    /// Overwrite the dynamic state from [`SeqOutState::encode_state`] bytes.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        decode_cursors(&mut self.cursors, d)?;
+        for b in &mut self.bufs {
+            b.clear();
+            let n = d.usize()?;
+            for _ in 0..n {
+                b.push_back(d.u32()?);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Conditional input stream state (\[16\]): a single global cursor; elements
@@ -407,6 +487,29 @@ impl CondInState {
     /// Words of the stream not yet consumed (fetched or not).
     pub fn remaining_words(&self) -> u32 {
         self.binding.words() - self.fetch_cursor + self.buf.len() as u32
+    }
+
+    /// Serialize the dynamic state (cursor and buffered words).
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        e.u32(self.fetch_cursor);
+        e.usize(self.buf.len());
+        for &(t, w) in &self.buf {
+            e.u64(t);
+            e.u32(w);
+        }
+    }
+
+    /// Overwrite the dynamic state from [`CondInState::encode_state`] bytes.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        self.fetch_cursor = d.u32()?;
+        self.buf.clear();
+        let n = d.usize()?;
+        for _ in 0..n {
+            let t = d.u64()?;
+            let w = d.u32()?;
+            self.buf.push_back((t, w));
+        }
+        Ok(())
     }
 }
 
@@ -479,6 +582,26 @@ impl CondOutState {
     /// True when all buffered output has drained.
     pub fn drained(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Serialize the dynamic state (cursor and buffered words).
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
+        e.u32(self.write_cursor);
+        e.usize(self.buf.len());
+        for &w in &self.buf {
+            e.u32(w);
+        }
+    }
+
+    /// Overwrite the dynamic state from [`CondOutState::encode_state`] bytes.
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), SnapError> {
+        self.write_cursor = d.u32()?;
+        self.buf.clear();
+        let n = d.usize()?;
+        for _ in 0..n {
+            self.buf.push_back(d.u32()?);
+        }
+        Ok(())
     }
 }
 

@@ -10,9 +10,10 @@
 
 use isrf_apps::common::Prepared;
 use isrf_apps::{fft2d, filter, igraph, rijndael, sort};
-use isrf_check::{run_differential, run_parallel, run_serial, DiffOutcome};
+use isrf_check::{first_divergence, run_differential, run_parallel, run_serial, DiffOutcome};
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
+use isrf_sim::ExecEngine;
 
 const APPS: [&str; 5] = ["fft2d", "rijndael", "sort", "filter", "igraph"];
 const CONFIGS: [ConfigName; 4] = [
@@ -65,6 +66,31 @@ fn prepare(app: &str, cfg: ConfigName) -> Prepared {
     }
 }
 
+/// On a differential failure, narrow the blame: run the point under both
+/// execution engines in lockstep and bisect snapshots for the first cycle
+/// where they disagree (DESIGN.md §12). A reported cycle means an engine
+/// bug with an exact location; engines agreeing means the timing model
+/// itself disagrees with the reference semantics.
+fn bisect_engines(app: &str, cfg: ConfigName) -> String {
+    let mut tape = prepare(app, cfg);
+    tape.machine.set_engine(ExecEngine::Tape);
+    let mut interp = prepare(app, cfg);
+    interp.machine.set_engine(ExecEngine::Interp);
+    match first_divergence(
+        &mut tape.machine,
+        &mut interp.machine,
+        &tape.program,
+        256,
+        None,
+    ) {
+        Ok(Some(d)) => format!("tape-vs-interpreter bisection:\n{d}"),
+        Ok(None) => "tape-vs-interpreter bisection: engines agree through completion; \
+                     the divergence is against the reference semantics"
+            .into(),
+        Err(e) => format!("tape-vs-interpreter bisection did not restore cleanly: {e:?}"),
+    }
+}
+
 fn diff_point(app: &str, cfg: ConfigName) -> DiffOutcome {
     let mut pr = prepare(app, cfg);
     run_differential(&mut pr.machine, &pr.program, &pr.outputs).unwrap_or_else(|failure| {
@@ -76,10 +102,11 @@ fn diff_point(app: &str, cfg: ConfigName) -> DiffOutcome {
             .collect();
         panic!(
             "{app} on {cfg:?} diverged from the reference executor \
-             ({} mismatches):\n  {}\nlast trace events:\n{}",
+             ({} mismatches):\n  {}\nlast trace events:\n{}\n{}",
             failure.errors.len(),
             shown.join("\n  "),
-            failure.trace_tail.join("\n")
+            failure.trace_tail.join("\n"),
+            bisect_engines(app, cfg)
         )
     })
 }
