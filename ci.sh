@@ -43,7 +43,7 @@ echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p isrf -p isrf-core -p isrf-trace -p isrf-sram -p isrf-mem \
   -p isrf-kernel -p isrf-sim -p isrf-verify -p isrf-apps -p isrf-lang \
-  -p isrf-check -p isrf-bench
+  -p isrf-check -p isrf-serve -p isrf-bench
 
 echo "==> static verification (all apps x all configs)"
 # Every shipped benchmark program must pass the isrf-verify hazard
@@ -77,6 +77,14 @@ echo "==> engine differential (tape vs interpreter)"
 # identical output memory on a conditional-stream point (sort ISRF4) and
 # an indexed-landing point (filter Base).
 ./target/release/engines
+
+echo "==> serve smoke test"
+# Spawn the batch server on an ephemeral port with a tiny queue, submit
+# sort/ISRF4 and filter/Base, poll to completion and diff the served
+# results word-for-word against direct one-shot runs, exercise a 429
+# (queue bound of 2), the memoized resubmission path, and a clean
+# POST /shutdown drain.
+./target/release/loadtest smoke --bin target/release/isrf-serve
 
 echo "==> snapshot/resume differential + bisector negative test"
 # Pausing sort/ISRF4 halfway, serializing the machine, restoring into a

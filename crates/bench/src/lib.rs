@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use isrf_apps::common::{set_separation_override, Prepared};
+use isrf_apps::common::set_separation_override;
 use isrf_apps::{fft2d, filter, igraph, micro, rijndael, sort};
 use isrf_check::run_parallel;
 use isrf_core::config::{ConfigName, MachineConfig};
@@ -25,70 +25,12 @@ pub const BENCHMARKS: [&str; 8] = [
     "FFT 2D", "Rijndael", "Sort", "Filter", "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL",
 ];
 
-/// Benchmark sizing profile: `Small` keeps unit tests and Criterion quick;
-/// `Paper` uses the paper's workload sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Profile {
-    /// Reduced sizes for CI and Criterion.
-    Small,
-    /// The paper's workload sizes.
-    Paper,
-}
+pub use isrf_apps::{prepare_app, Profile};
 
-/// The five distinct applications (the IG benchmarks share one program
-/// family), by the short names the differential suite and the `trace`
-/// binary use.
-pub const DIFF_APPS: [&str; 5] = ["fft2d", "rijndael", "sort", "filter", "igraph"];
-
-/// Build a ready-to-run machine + program + expected outputs for one app,
-/// without running it — the caller installs tracers, runs, and inspects.
-///
-/// # Panics
-///
-/// Panics on an unknown app name (use [`DIFF_APPS`]).
-pub fn prepare_app(app: &str, cfg: ConfigName, profile: Profile) -> Prepared {
-    let small = profile == Profile::Small;
-    match app {
-        "fft2d" => fft2d::prepare(
-            cfg,
-            &fft2d::Fft2dParams {
-                reps: if small { 1 } else { 2 },
-                ..Default::default()
-            },
-        ),
-        "rijndael" => rijndael::prepare(
-            cfg,
-            &rijndael::RijndaelParams {
-                chains_per_lane: if small { 2 } else { 8 },
-                waves: if small { 2 } else { 4 },
-                strips: if small { 2 } else { 4 },
-                ..Default::default()
-            },
-        ),
-        "sort" => sort::prepare(
-            cfg,
-            &sort::SortParams {
-                keys_per_lane: if small { 64 } else { 512 },
-                ..Default::default()
-            },
-        ),
-        "filter" => filter::prepare(
-            cfg,
-            &filter::FilterParams {
-                rows: if small { 32 } else { 256 },
-                ..Default::default()
-            },
-        ),
-        "igraph" => {
-            let mut ds = igraph::dataset("IG_SML");
-            if small {
-                ds.nodes /= 4;
-            }
-            igraph::prepare(cfg, &ds)
-        }
-        other => panic!("unknown app {other}; expected one of {DIFF_APPS:?}"),
-    }
-}
+/// The five distinct applications, re-exported from the
+/// [`isrf_apps::registry`] under the name the differential suite and the
+/// trace/verify binaries historically used.
+pub const DIFF_APPS: [&str; 5] = isrf_apps::APPS;
 
 /// Run one named benchmark on one configuration.
 ///

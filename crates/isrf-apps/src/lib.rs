@@ -16,5 +16,8 @@ pub mod filter;
 pub mod histogram;
 pub mod igraph;
 pub mod micro;
+pub mod registry;
 pub mod rijndael;
 pub mod sort;
+
+pub use registry::{prepare_app, Profile, APPS};

@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use isrf_core::config::MachineConfig;
@@ -353,11 +354,28 @@ pub fn schedule_cached(
         crate::hash::sched_params_hash(params),
     );
     if let Some(hit) = memo.lock().unwrap().get(&key) {
+        SCHED_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(hit));
     }
+    SCHED_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let fresh = Arc::new(schedule(kernel, params)?);
     let mut guard = memo.lock().unwrap();
     Ok(Arc::clone(guard.entry(key).or_insert(fresh)))
+}
+
+static SCHED_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static SCHED_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime `(hits, misses)` of the [`schedule_cached`] memo.
+///
+/// A miss that loses the insert race still counts as a miss (the
+/// scheduling work really happened); long-running services export these
+/// through their metrics endpoint.
+pub fn schedule_cache_stats() -> (u64, u64) {
+    (
+        SCHED_CACHE_HITS.load(Ordering::Relaxed),
+        SCHED_CACHE_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 /// Schedule `kernel` under `params`.

@@ -1,0 +1,337 @@
+//! End-to-end coverage of the job server over real sockets: submissions
+//! match direct in-process runs word-for-word, sweeps shard across
+//! workers, memoization serves repeats from cache, the queue bound
+//! produces 429 + `Retry-After`, cancellation lands within a slice, and
+//! the error paths return the right statuses.
+
+use std::time::Duration;
+
+use isrf_apps::{prepare_app, Profile};
+use isrf_core::config::ConfigName;
+use isrf_serve::{Client, Json, Server, ServerConfig};
+
+fn start(workers: usize, queue_cap: usize, chunk: u64) -> (Server, Client) {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        chunk_cycles: chunk,
+        snapshot_dir: None,
+        limits: Default::default(),
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(server.addr());
+    (server, client)
+}
+
+/// Direct in-process run: the oracle the server must match word-for-word.
+fn direct(app: &str, cfg: ConfigName, profile: Profile) -> (u64, Vec<Vec<u64>>) {
+    let mut pr = prepare_app(app, cfg, profile);
+    let stats = pr.machine.run(&pr.program);
+    let outs = pr
+        .outputs
+        .iter()
+        .map(|&(base, words)| {
+            pr.machine
+                .mem()
+                .memory()
+                .read_block(base, words as usize)
+                .into_iter()
+                .map(u64::from)
+                .collect()
+        })
+        .collect();
+    (stats.cycles, outs)
+}
+
+/// Pull `(cycles, outputs-as-words)` out of a result payload point.
+fn point_words(point: &Json) -> (u64, Vec<Vec<u64>>) {
+    let cycles = point.get("cycles").and_then(Json::as_u64).unwrap();
+    let outs = point
+        .get("outputs")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|o| {
+            o.get("words")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|w| w.as_u64().unwrap())
+                .collect()
+        })
+        .collect();
+    (cycles, outs)
+}
+
+fn submit(client: &mut Client, body: &str) -> (u16, Json) {
+    let resp = client.post("/jobs", body).expect("POST /jobs");
+    let v = resp.json().expect("response is JSON");
+    (resp.status, v)
+}
+
+fn fetch_result(client: &mut Client, id: u64) -> Json {
+    let status = client
+        .wait_job(id, Duration::from_secs(120))
+        .expect("job settles");
+    assert_eq!(
+        status.get("status").and_then(Json::as_str),
+        Some("done"),
+        "job {id} did not finish: {}",
+        status.render()
+    );
+    let resp = client
+        .get(&format!("/jobs/{id}/result"))
+        .expect("GET result");
+    assert_eq!(resp.status, 200);
+    resp.json().expect("result is JSON")
+}
+
+#[test]
+fn single_job_matches_direct_run() {
+    let (server, mut client) = start(2, 16, 50_000);
+    let (status, v) = submit(&mut client, r#"{"app":"sort","config":"ISRF4"}"#);
+    assert_eq!(status, 202, "{}", v.render());
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let result = fetch_result(&mut client, id);
+    let points = result.get("points").and_then(Json::as_arr).unwrap();
+    assert_eq!(points.len(), 1);
+    let (cycles, outs) = point_words(&points[0]);
+    let (want_cycles, want_outs) = direct("sort", ConfigName::Isrf4, Profile::Small);
+    assert_eq!(cycles, want_cycles);
+    assert_eq!(outs, want_outs);
+    server.stop();
+}
+
+#[test]
+fn sweep_shards_and_every_point_matches() {
+    let (server, mut client) = start(4, 16, 50_000);
+    let body = r#"{"sweep":[
+        {"app":"fft2d"},{"app":"rijndael"},{"app":"sort"},
+        {"app":"filter"},{"app":"igraph"},
+        {"app":"sort","config":"ISRF1"},{"app":"sort","config":"Cache"}
+    ]}"#;
+    let (status, v) = submit(&mut client, body);
+    assert_eq!(status, 202, "{}", v.render());
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let result = fetch_result(&mut client, id);
+    let points = result.get("points").and_then(Json::as_arr).unwrap();
+    let expect = [
+        ("fft2d", ConfigName::Base),
+        ("rijndael", ConfigName::Base),
+        ("sort", ConfigName::Base),
+        ("filter", ConfigName::Base),
+        ("igraph", ConfigName::Base),
+        ("sort", ConfigName::Isrf1),
+        ("sort", ConfigName::Cache),
+    ];
+    assert_eq!(points.len(), expect.len());
+    for (point, (app, cfg)) in points.iter().zip(expect) {
+        let (cycles, outs) = point_words(point);
+        let (want_cycles, want_outs) = direct(app, cfg, Profile::Small);
+        assert_eq!(cycles, want_cycles, "{app}/{cfg}");
+        assert_eq!(outs, want_outs, "{app}/{cfg}");
+    }
+    server.stop();
+}
+
+#[test]
+fn repeat_submission_is_served_from_cache() {
+    let (server, mut client) = start(2, 16, 50_000);
+    let body = r#"{"app":"filter","config":"Base","nonce":"memo-test"}"#;
+    let (status, v) = submit(&mut client, body);
+    assert_eq!(status, 202);
+    let cold_id = v.get("id").and_then(Json::as_u64).unwrap();
+    let cold = fetch_result(&mut client, cold_id);
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+
+    // Identical spec: completes instantly with cached=true on submit.
+    let (status, v) = submit(&mut client, body);
+    assert_eq!(status, 200, "{}", v.render());
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+    let warm_id = v.get("id").and_then(Json::as_u64).unwrap();
+    assert_ne!(warm_id, cold_id);
+    let warm = fetch_result(&mut client, warm_id);
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        cold.get("points").unwrap().render(),
+        warm.get("points").unwrap().render(),
+        "cached payload must be byte-identical"
+    );
+
+    // A different nonce defeats the cache.
+    let (status, _) = submit(
+        &mut client,
+        r#"{"app":"filter","config":"Base","nonce":"other"}"#,
+    );
+    assert_eq!(status, 202);
+    server.stop();
+}
+
+#[test]
+fn queue_bound_produces_429_with_retry_after() {
+    // One worker, queue of one, big Paper-profile jobs: the first job
+    // occupies the worker, the second fills the queue, the third bounces.
+    let (server, mut client) = start(1, 1, 5_000);
+    let mut ids = Vec::new();
+    let mut saw_429 = false;
+    for i in 0..6 {
+        let body = format!(r#"{{"app":"sort","profile":"paper","nonce":"flood-{i}"}}"#);
+        let resp = client.post("/jobs", &body).expect("POST /jobs");
+        match resp.status {
+            202 => {
+                let v = resp.json().unwrap();
+                ids.push(v.get("id").and_then(Json::as_u64).unwrap());
+            }
+            429 => {
+                saw_429 = true;
+                assert_eq!(resp.header("retry-after"), Some("1"));
+                let v = resp.json().unwrap();
+                assert!(v.get("error").is_some());
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(saw_429, "queue bound never tripped");
+    assert!(ids.len() >= 2, "at least two jobs should be admitted");
+    // Cancel everything so shutdown is quick.
+    for id in &ids {
+        let resp = client.delete(&format!("/jobs/{id}")).expect("DELETE");
+        assert_eq!(resp.status, 200);
+    }
+    server.stop();
+}
+
+#[test]
+fn cancellation_lands_within_a_slice() {
+    let (server, mut client) = start(1, 4, 2_000);
+    let (status, v) = submit(
+        &mut client,
+        r#"{"app":"sort","profile":"paper","nonce":"cancel-me"}"#,
+    );
+    assert_eq!(status, 202);
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let resp = client.delete(&format!("/jobs/{id}")).unwrap();
+    assert_eq!(resp.status, 200);
+    let st = client.wait_job(id, Duration::from_secs(30)).unwrap();
+    assert_eq!(st.get("status").and_then(Json::as_str), Some("cancelled"));
+    // Result of a cancelled job is a 409 conflict.
+    let resp = client.get(&format!("/jobs/{id}/result")).unwrap();
+    assert_eq!(resp.status, 409);
+    server.stop();
+}
+
+#[test]
+fn source_job_runs_and_traces() {
+    let (server, mut client) = start(2, 8, 50_000);
+    let body = r#"{
+        "source":"kernel triple(istream<int> in, ostream<int> out) { int a, c; while (!eos(in)) { in >> a; c = a * 3 + 1; out << c; } }",
+        "records_per_lane": 8, "seed": 7, "trace": true
+    }"#;
+    let (status, v) = submit(&mut client, body);
+    assert_eq!(status, 202, "{}", v.render());
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let result = fetch_result(&mut client, id);
+    let points = result.get("points").and_then(Json::as_arr).unwrap();
+    let (_, outs) = point_words(&points[0]);
+    assert_eq!(outs.len(), 1);
+    let salt = 7u32.wrapping_mul(0x9e37_79b9);
+    for (k, &w) in outs[0].iter().enumerate() {
+        let a = (k as u32).wrapping_mul(2654435761).wrapping_add(salt);
+        assert_eq!(w, u64::from(a.wrapping_mul(3).wrapping_add(1)));
+    }
+    // The trace endpoint serves a chrome-format event array.
+    let resp = client.get(&format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(resp.status, 200);
+    let trace = resp.json().expect("trace is JSON");
+    assert!(trace.get("traceEvents").is_some() || trace.as_arr().is_some());
+    server.stop();
+}
+
+#[test]
+fn bad_source_fails_with_diagnostics() {
+    let (server, mut client) = start(1, 4, 50_000);
+    let (status, v) = submit(&mut client, r#"{"source":"kernel oops("}"#);
+    assert_eq!(status, 202, "{}", v.render());
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let st = client.wait_job(id, Duration::from_secs(30)).unwrap();
+    assert_eq!(st.get("status").and_then(Json::as_str), Some("failed"));
+    assert!(st.get("errors").is_some());
+    let resp = client.get(&format!("/jobs/{id}/result")).unwrap();
+    assert_eq!(resp.status, 409);
+    server.stop();
+}
+
+#[test]
+fn error_statuses_are_precise() {
+    let (server, mut client) = start(1, 4, 50_000);
+    // Malformed JSON body.
+    let resp = client.post("/jobs", "{not json").unwrap();
+    assert_eq!(resp.status, 400);
+    // Valid JSON, invalid spec.
+    let resp = client.post("/jobs", r#"{"app":"nope"}"#).unwrap();
+    assert_eq!(resp.status, 400);
+    // Unknown job.
+    let resp = client.get("/jobs/999999").unwrap();
+    assert_eq!(resp.status, 404);
+    // Non-integer job id.
+    let resp = client.get("/jobs/abc").unwrap();
+    assert_eq!(resp.status, 400);
+    // Unknown route.
+    let resp = client.get("/nope").unwrap();
+    assert_eq!(resp.status, 404);
+    // Result before completion (job still queued/running).
+    let (status, v) = submit(
+        &mut client,
+        r#"{"app":"sort","profile":"paper","nonce":"slow"}"#,
+    );
+    assert_eq!(status, 202);
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let resp = client.get(&format!("/jobs/{id}/result")).unwrap();
+    assert_eq!(resp.status, 409);
+    // Trace on an untraced job.
+    let resp = client.get(&format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(resp.status, 404);
+    client.delete(&format!("/jobs/{id}")).unwrap();
+    server.stop();
+}
+
+#[test]
+fn metrics_report_queue_cache_and_workers() {
+    let (server, mut client) = start(2, 8, 50_000);
+    let body = r#"{"app":"filter","nonce":"metrics"}"#;
+    let (_, v) = submit(&mut client, body);
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    fetch_result(&mut client, id);
+    submit(&mut client, body); // cache hit
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    for key in [
+        "serve_jobs_submitted",
+        "serve_jobs_done",
+        "serve_result_cache_hits",
+        "serve_queue_cap",
+        "tape_cache_",
+        "sched_cache_",
+        // Which worker ran the job is scheduling-dependent; zero counters
+        // are dropped from the rendering, so just require some worker line.
+        "worker_",
+        "serve_job_latency_ms",
+    ] {
+        assert!(text.contains(key), "metrics missing {key}:\n{text}");
+    }
+    server.stop();
+}
+
+#[test]
+fn healthz_and_keepalive() {
+    let (server, mut client) = start(1, 4, 50_000);
+    // Several requests over one kept-alive connection.
+    for _ in 0..3 {
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+    }
+    server.stop();
+}

@@ -543,6 +543,40 @@ impl Machine {
         self.active.is_some()
     }
 
+    /// Run `program` in slices of `chunk` cycles while `keep_going`
+    /// approves, pausing in place the first time it declines.
+    ///
+    /// The job-facing run API: a long-running service executes each job in
+    /// bounded slices and polls a cancellation/drain flag between them, so
+    /// a pause lands on an exact cycle boundary and the paused machine can
+    /// be snapshotted with [`Machine::save_state`] (or resumed later by
+    /// calling `run_while` / [`Machine::run_for`] again with the same
+    /// program). Returns `Some(stats)` when the program completed, `None`
+    /// when paused. `keep_going` is consulted before every slice,
+    /// including the first — so an already-cancelled job never simulates a
+    /// cycle — and a paused-and-resumed run remains byte-identical to an
+    /// uninterrupted one.
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::run_for`]; additionally if `chunk` is zero.
+    pub fn run_while(
+        &mut self,
+        program: &StreamProgram,
+        chunk: u64,
+        mut keep_going: impl FnMut(&Machine) -> bool,
+    ) -> Option<RunStats> {
+        assert!(chunk > 0, "run_while needs a nonzero slice");
+        loop {
+            if !keep_going(self) {
+                return None;
+            }
+            if let Some(stats) = self.run_for(program, chunk) {
+                return Some(stats);
+            }
+        }
+    }
+
     /// Serialize the machine's complete dynamic architectural state —
     /// including a program paused by [`Machine::run_for`] — into the
     /// versioned, content-hashed snapshot frame (DESIGN.md §12).

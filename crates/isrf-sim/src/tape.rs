@@ -31,6 +31,7 @@
 //! iterations, machine instances and sweep points compile once.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use isrf_core::Word;
@@ -481,11 +482,26 @@ pub fn cached_tape(kernel: &Kernel, sched: &Schedule, lanes: usize) -> Arc<Compi
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let key = (kernel_hash(kernel), schedule_hash(sched), lanes);
     if let Some(hit) = cache.lock().unwrap().get(&key) {
+        TAPE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(hit);
     }
+    TAPE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let tape = Arc::new(compile(kernel, sched, lanes));
     let mut guard = cache.lock().unwrap();
     Arc::clone(guard.entry(key).or_insert(tape))
+}
+
+static TAPE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static TAPE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime `(hits, misses)` of the [`cached_tape`] memo, for
+/// export by long-running services (a lost insert race still counts as a
+/// miss — the compilation work really happened).
+pub fn tape_cache_stats() -> (u64, u64) {
+    (
+        TAPE_CACHE_HITS.load(Ordering::Relaxed),
+        TAPE_CACHE_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 #[cfg(test)]
