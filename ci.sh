@@ -74,8 +74,10 @@ fi
 echo "==> engine differential (tape vs interpreter)"
 # The compiled-tape engine must be unobservable next to the graph-walking
 # interpreter: identical stats, word-for-word identical trace streams, and
-# identical output memory on a conditional-stream point (sort ISRF4) and
-# an indexed-landing point (filter Base).
+# identical output memory on a conditional-stream point (sort ISRF4), an
+# indexed-landing point (filter Base), a cross-lane gather point
+# (spmv ISRF4), an in-lane halo-reuse point (stencil ISRF4), and an
+# irregular-frontier replication point (bfs Base).
 ./target/release/engines
 
 echo "==> serve smoke test"

@@ -5,10 +5,12 @@
 //! and identical output memory.
 //!
 //! Usage: `engines [APP CONFIG]...` — pairs of benchmark app
-//! (`fft2d|rijndael|sort|filter|igraph`) and configuration
-//! (`Base|ISRF1|ISRF4|Cache`). With no arguments, checks the CI suite:
-//! `sort ISRF4` (conditional streams) and `filter Base` (the indexed
-//! landing path).
+//! (`fft2d|rijndael|sort|filter|igraph|spmv|stencil|bfs`) and
+//! configuration (`Base|ISRF1|ISRF4|Cache`). With no arguments, checks
+//! the CI suite: `sort ISRF4` (conditional streams), `filter Base` (the
+//! indexed landing path), `spmv ISRF4` (cross-lane gather), `stencil
+//! ISRF4` (in-lane halo reuse), and `bfs Base` (irregular frontiers on
+//! the replication path).
 //!
 //! Exits nonzero on any mismatch.
 
@@ -122,6 +124,9 @@ fn main() {
         vec![
             ("sort".into(), ConfigName::Isrf4),
             ("filter".into(), ConfigName::Base),
+            ("spmv".into(), ConfigName::Isrf4),
+            ("stencil".into(), ConfigName::Isrf4),
+            ("bfs".into(), ConfigName::Base),
         ]
     } else {
         if !args.len().is_multiple_of(2) {

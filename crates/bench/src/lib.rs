@@ -27,10 +27,10 @@ pub const BENCHMARKS: [&str; 8] = [
 
 pub use isrf_apps::{prepare_app, Profile};
 
-/// The five distinct applications, re-exported from the
+/// The distinct applications, re-exported from the
 /// [`isrf_apps::registry`] under the name the differential suite and the
 /// trace/verify binaries historically used.
-pub const DIFF_APPS: [&str; 5] = isrf_apps::APPS;
+pub const DIFF_APPS: [&str; 8] = isrf_apps::APPS;
 
 /// Run one named benchmark on one configuration.
 ///

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod bfs;
 pub mod common;
 pub mod fft2d;
 pub mod filter;
@@ -19,5 +20,7 @@ pub mod micro;
 pub mod registry;
 pub mod rijndael;
 pub mod sort;
+pub mod spmv;
+pub mod stencil;
 
 pub use registry::{prepare_app, Profile, APPS};

@@ -9,7 +9,7 @@
 use isrf_core::config::ConfigName;
 
 use crate::common::Prepared;
-use crate::{fft2d, filter, igraph, rijndael, sort};
+use crate::{bfs, fft2d, filter, igraph, rijndael, sort, spmv, stencil};
 
 /// Benchmark sizing profile: `Small` keeps unit tests and Criterion quick;
 /// `Paper` uses the paper's workload sizes.
@@ -21,10 +21,12 @@ pub enum Profile {
     Paper,
 }
 
-/// The five distinct applications (the IG benchmarks share one program
+/// The eight distinct applications (the IG benchmarks share one program
 /// family), by the short names the differential suite, the `trace` binary
 /// and the job server use.
-pub const APPS: [&str; 5] = ["fft2d", "rijndael", "sort", "filter", "igraph"];
+pub const APPS: [&str; 8] = [
+    "fft2d", "rijndael", "sort", "filter", "igraph", "spmv", "stencil", "bfs",
+];
 
 /// Build a ready-to-run machine + program + expected outputs for one app,
 /// without running it — the caller installs tracers, runs, and inspects.
@@ -72,6 +74,32 @@ pub fn prepare_app(app: &str, cfg: ConfigName, profile: Profile) -> Prepared {
             }
             igraph::prepare(cfg, &ds)
         }
+        "spmv" => spmv::prepare(
+            cfg,
+            &spmv::SpmvParams {
+                rows: if small { 256 } else { 2048 },
+                strip_rows: if small { 32 } else { 64 },
+                ..Default::default()
+            },
+        ),
+        "stencil" => stencil::prepare(
+            cfg,
+            &stencil::StencilParams {
+                rows: if small { 64 } else { 256 },
+                ..Default::default()
+            },
+        ),
+        "bfs" => bfs::prepare(
+            cfg,
+            &bfs::BfsParams {
+                nodes: if small { 512 } else { 4096 },
+                strip_nodes: if small { 64 } else { 128 },
+                max_degree: if small { 8 } else { 12 },
+                window: if small { 32 } else { 64 },
+                max_sweeps: if small { 8 } else { 12 },
+                ..Default::default()
+            },
+        ),
         other => panic!("unknown app {other}; expected one of {APPS:?}"),
     }
 }

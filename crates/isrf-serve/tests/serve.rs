@@ -248,6 +248,77 @@ fn source_job_runs_and_traces() {
     server.stop();
 }
 
+/// Inline-source SpMV gather kernel: a pointer stream drives a
+/// cross-lane read of a condensed x table (the serve harness binds the
+/// `idx_istream` with `table_records_per_lane × lanes` = 512 records, so
+/// the `& 511` mask keeps every gather in bounds and verifier-clean).
+const SPMV_SRC: &str = "kernel spmv_gather(istream<int> col, istream<int> val, \
+     idx_istream<int> x, ostream<int> out) \
+     { int c, v, xv, y; while (!eos(col)) { col >> c; val >> v; \
+     x[c & 511] >> xv; y = v * xv; out << y; } }";
+
+#[test]
+fn source_spmv_sweep_matches_direct_runs() {
+    use isrf_serve::{JobSpec, PointRunner};
+
+    let (server, mut client) = start(3, 16, 50_000);
+    // Indexed configs only: the gather is V301 on Base/Cache by design
+    // (covered by the verifier corpus), and a failed point fails the job.
+    let mut body = String::from("{\"sweep\":[");
+    for (i, (cfg, engine)) in [
+        ("ISRF1", "tape"),
+        ("ISRF1", "interp"),
+        ("ISRF4", "tape"),
+        ("ISRF4", "interp"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"source\":{:?},\"records_per_lane\":16,\"seed\":42,\
+             \"config\":\"{cfg}\",\"engine\":\"{engine}\"}}",
+            SPMV_SRC
+        ));
+    }
+    body.push_str("]}");
+
+    let (status, v) = submit(&mut client, &body);
+    assert_eq!(status, 202, "{}", v.render());
+    let id = v.get("id").and_then(Json::as_u64).unwrap();
+    let result = fetch_result(&mut client, id);
+    let points = result.get("points").and_then(Json::as_arr).unwrap();
+    assert_eq!(points.len(), 4);
+
+    // Oracle: the same specs run directly in-process.
+    let spec = JobSpec::from_json(&Json::parse(&body).unwrap()).unwrap();
+    for (point, ps) in points.iter().zip(&spec.points) {
+        let (cycles, outs) = point_words(point);
+        let mut runner = PointRunner::new(ps, false).expect("spec prepares");
+        let outcome = runner.run(u64::MAX, |_| true).expect("runs to completion");
+        assert_eq!(
+            cycles, outcome.stats.cycles,
+            "{}/{:?}",
+            ps.config, ps.engine
+        );
+        let want: Vec<Vec<u64>> = outcome
+            .outputs
+            .iter()
+            .map(|(_, words)| words.iter().map(|&w| u64::from(w)).collect())
+            .collect();
+        assert_eq!(outs, want, "{}/{:?}", ps.config, ps.engine);
+    }
+
+    // Within a config the engines agree word-for-word and cycle-exactly;
+    // the tape is an execution strategy, not a semantic change.
+    let words_of = |p: &Json| point_words(p);
+    assert_eq!(words_of(&points[0]), words_of(&points[1]), "ISRF1 engines");
+    assert_eq!(words_of(&points[2]), words_of(&points[3]), "ISRF4 engines");
+    server.stop();
+}
+
 #[test]
 fn bad_source_fails_with_diagnostics() {
     let (server, mut client) = start(1, 4, 50_000);

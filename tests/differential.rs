@@ -9,13 +9,15 @@
 //! and identical to what the ISA-semantics interpreter produces.
 
 use isrf_apps::common::Prepared;
-use isrf_apps::{fft2d, filter, igraph, rijndael, sort};
+use isrf_apps::{bfs, fft2d, filter, igraph, rijndael, sort, spmv, stencil};
 use isrf_check::{first_divergence, run_differential, run_parallel, run_serial, DiffOutcome};
 use isrf_core::config::ConfigName;
 use isrf_core::stats::RunStats;
 use isrf_sim::ExecEngine;
 
-const APPS: [&str; 5] = ["fft2d", "rijndael", "sort", "filter", "igraph"];
+const APPS: [&str; 8] = [
+    "fft2d", "rijndael", "sort", "filter", "igraph", "spmv", "stencil", "bfs",
+];
 const CONFIGS: [ConfigName; 4] = [
     ConfigName::Base,
     ConfigName::Isrf1,
@@ -62,6 +64,29 @@ fn prepare(app: &str, cfg: ConfigName) -> Prepared {
             ds.nodes /= 4;
             igraph::prepare(cfg, &ds)
         }
+        "spmv" => spmv::prepare(
+            cfg,
+            &spmv::SpmvParams {
+                rows: 256,
+                strip_rows: 32,
+                ..Default::default()
+            },
+        ),
+        "stencil" => stencil::prepare(
+            cfg,
+            &stencil::StencilParams {
+                rows: 64,
+                ..Default::default()
+            },
+        ),
+        "bfs" => bfs::prepare(
+            cfg,
+            &bfs::BfsParams {
+                nodes: 512,
+                strip_nodes: 64,
+                ..Default::default()
+            },
+        ),
         other => panic!("unknown app {other}"),
     }
 }
@@ -117,7 +142,7 @@ fn grid() -> Vec<(&'static str, ConfigName)> {
         .collect()
 }
 
-/// The acceptance gate: all 5 apps × 4 configs agree with the reference
+/// The acceptance gate: all 8 apps × 4 configs agree with the reference
 /// on every word of memory and SRF, and on the indexed access counts.
 /// Points run in parallel — the sweep harness drives its own test load.
 #[test]
