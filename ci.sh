@@ -53,6 +53,23 @@ echo "==> static verification (all apps x all configs)"
 ./target/release/verify all all
 cargo test -q -p isrf-verify
 
+echo "==> analyzer report drift check (golden reports)"
+# The full analyzer report — diagnostics, warnings, per-kernel pressure
+# and the static cycle floor — for all 8 apps x 4 configs on both sizing
+# profiles must match the committed goldens byte-for-byte. Regenerate
+# with `verify all all [--paper] --report <file>` when a change is
+# intentional.
+./target/release/verify all all --check results/VERIFY_report.json
+./target/release/verify all all --paper --check results/VERIFY_report_paper.json
+
+echo "==> static cycle floor vs simulation (both engines, both profiles)"
+# The model's whole-program cycle lower bound must be sound (floor <=
+# simulated cycles under Tape AND Interp) and not uselessly loose
+# (floor >= MIN_FLOOR_PCT of simulated; committed in the verify bin) on
+# every app x config point.
+./target/release/verify all all --cycles
+./target/release/verify all all --paper --cycles
+
 echo "==> trace smoke test"
 # One app on one config: the audit must pass (exit 0) and the emitted
 # Chrome trace must parse as JSON. Prefer an external JSON parser when one

@@ -24,7 +24,7 @@
 //! them without control flow. Distances are exact integers: results are
 //! compared word-for-word against the host Jacobi.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use isrf_core::config::ConfigName;
@@ -201,7 +201,7 @@ fn plan_cached(params: &BfsParams) -> Arc<Plan> {
         let mut ptr_words = Vec::with_capacity((strip_n * pad) as usize);
         // Record 0 is always the INF sentinel at node index `n`.
         let mut unique_nodes = vec![n];
-        let mut pos: HashMap<u32, u32> = HashMap::new();
+        let mut pos: BTreeMap<u32, u32> = BTreeMap::new();
         pos.insert(n, 0);
         let mut replicated_nodes = Vec::new();
         for v in s * strip_n..(s + 1) * strip_n {

@@ -22,7 +22,7 @@
 //! giving the intra-strip locality the ISRF exploits. Results are verified
 //! against a host-side sweep with identical f32 arithmetic.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use isrf_core::config::ConfigName;
@@ -203,7 +203,7 @@ fn host_image(ds: &IgDataset, strip_nodes: u32) -> Arc<HostImage> {
         let first = s * strip_nodes;
         let mut ptr_words = Vec::new();
         let mut unique_addrs = Vec::new();
-        let mut pos: HashMap<u32, u32> = HashMap::new();
+        let mut pos: BTreeMap<u32, u32> = BTreeMap::new();
         for i in first..first + strip_nodes {
             for &j in &g.adj[i as usize] {
                 let p = *pos.entry(j).or_insert_with(|| {

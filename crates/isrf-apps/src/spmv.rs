@@ -26,7 +26,7 @@
 //! matrices with controllable density (`avg_nnz`), locality
 //! (`bandwidth`), and a controllable fraction of entirely empty rows.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use isrf_core::config::ConfigName;
@@ -208,7 +208,7 @@ fn host_strips(csr: &Csr, strip_rows: u32, pad: u32) -> Vec<Strip> {
         // Record 0 is always x[0]: the sentinel the padding entries
         // multiply by 0.0, valid even for an all-empty strip.
         let mut unique_addrs = vec![X_BASE];
-        let mut pos: HashMap<u32, u32> = HashMap::new();
+        let mut pos: BTreeMap<u32, u32> = BTreeMap::new();
         pos.insert(0, 0);
         let mut replicated_addrs = Vec::new();
         for i in s * strip_rows..(s + 1) * strip_rows {

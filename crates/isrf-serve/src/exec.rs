@@ -16,7 +16,7 @@ use isrf_core::stats::RunStats;
 use isrf_core::Word;
 use isrf_kernel::ir::StreamKind;
 use isrf_kernel::sched::{schedule_cached, SchedParams};
-use isrf_sim::{Machine, StreamBinding, StreamProgram};
+use isrf_sim::{Diagnostic, Machine, ProgramVerifier, StreamBinding, StreamProgram};
 use isrf_trace::{chrome, Tracer};
 use isrf_verify::Verifier;
 
@@ -127,32 +127,7 @@ impl PointRunner {
     /// lowering failures of inline source, scheduling failure, or static
     /// verification diagnostics.
     pub fn new(spec: &PointSpec, trace: bool) -> Result<PointRunner, String> {
-        let mut runner = match &spec.app {
-            AppRef::Named(name) => {
-                let Prepared {
-                    machine,
-                    program,
-                    outputs,
-                } = prepare_app(name, spec.config, spec.profile);
-                PointRunner {
-                    machine,
-                    program,
-                    outputs: outputs
-                        .iter()
-                        .map(|&(base, words)| {
-                            (format!("mem@{base:#x}"), OutputSel::Mem(base, words))
-                        })
-                        .collect(),
-                    trace,
-                }
-            }
-            AppRef::Source {
-                src,
-                records_per_lane,
-                table_records_per_lane,
-                seed,
-            } => Self::from_source(src, *records_per_lane, *table_records_per_lane, *seed, spec)?,
-        };
+        let mut runner = Self::build(spec)?;
         runner.machine.set_engine(spec.engine);
         // Verify up front on both paths so a hazardous program surfaces as
         // a structured failure instead of a worker panic mid-simulation.
@@ -186,6 +161,39 @@ impl PointRunner {
         }
         runner.trace = trace;
         Ok(runner)
+    }
+
+    /// Construct machine + program for `spec` without choosing an engine,
+    /// verifying, or installing a tracer. Shared between execution
+    /// ([`PointRunner::new`]) and pre-admission analysis
+    /// ([`analyze_point`]) so the two can never drift apart.
+    fn build(spec: &PointSpec) -> Result<PointRunner, String> {
+        match &spec.app {
+            AppRef::Named(name) => {
+                let Prepared {
+                    machine,
+                    program,
+                    outputs,
+                } = prepare_app(name, spec.config, spec.profile);
+                Ok(PointRunner {
+                    machine,
+                    program,
+                    outputs: outputs
+                        .iter()
+                        .map(|&(base, words)| {
+                            (format!("mem@{base:#x}"), OutputSel::Mem(base, words))
+                        })
+                        .collect(),
+                    trace: false,
+                })
+            }
+            AppRef::Source {
+                src,
+                records_per_lane,
+                table_records_per_lane,
+                seed,
+            } => Self::from_source(src, *records_per_lane, *table_records_per_lane, *seed, spec),
+        }
     }
 
     fn from_source(
@@ -298,6 +306,68 @@ impl PointRunner {
     /// Serialize the paused machine (see [`Machine::save_state`]).
     pub fn checkpoint(&self) -> Vec<u8> {
         self.machine.save_state(&self.program)
+    }
+}
+
+/// Render one verifier finding as a wire JSON object.
+fn diag_json(d: &Diagnostic) -> Json {
+    let mut obj = vec![
+        ("code".into(), Json::str(d.code.clone())),
+        ("check".into(), Json::str(d.check.clone())),
+        ("message".into(), Json::str(d.message.clone())),
+    ];
+    if let Some(op) = d.prog_op {
+        obj.push(("prog_op".into(), Json::u64(op as u64)));
+    }
+    if let Some(k) = &d.kernel {
+        obj.push(("kernel".into(), Json::str(k.clone())));
+    }
+    if let Some(line) = d.line {
+        obj.push(("line".into(), Json::u64(u64::from(line))));
+    }
+    if !d.notes.is_empty() {
+        obj.push((
+            "notes".into(),
+            Json::Arr(d.notes.iter().map(|n| Json::str(n.clone())).collect()),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+/// Statically analyze `spec` without simulating a cycle: build the same
+/// machine + program a worker would run and hand them to the whole-program
+/// verifier. `Ok(())` means the point is admissible; `Err` carries one
+/// wire-ready JSON object per finding. Build failures (parse, lowering,
+/// scheduling) are reported as a single `E000`/`build` pseudo-diagnostic
+/// so every rejection reaches the client in the same structured shape.
+///
+/// This is the server's pre-admission gate (`POST /jobs` rejects with
+/// `422` before anything is queued); workers still re-verify in
+/// [`PointRunner::new`] as defense in depth.
+///
+/// # Errors
+///
+/// The structured diagnostics that make the point inadmissible.
+pub fn analyze_point(spec: &PointSpec) -> Result<(), Vec<Json>> {
+    let runner = match PointRunner::build(spec) {
+        Ok(r) => r,
+        Err(msg) => {
+            return Err(vec![Json::Obj(vec![
+                ("code".into(), Json::str("E000")),
+                ("check".into(), Json::str("build")),
+                ("message".into(), Json::str(msg)),
+            ])])
+        }
+    };
+    let diags = Verifier::new().verify(
+        runner.machine.config(),
+        &runner.machine.verify_env(),
+        &runner.program,
+    );
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(diags.iter().map(diag_json).collect())
     }
 }
 

@@ -39,7 +39,7 @@ pub mod server;
 pub mod spec;
 
 pub use client::{Client, ClientResponse};
-pub use exec::{PointOutcome, PointRunner};
+pub use exec::{analyze_point, PointOutcome, PointRunner};
 pub use http::{Limits, Request, Response};
 pub use json::{Json, JsonError};
 pub use pool::{Pool, WorkerHandle, WorkerStats};

@@ -174,6 +174,9 @@ where
     let mut stolen = false;
     loop {
         if let Some(item) = shared.next(id, &mut stolen) {
+            // Sanctioned wall-clock read: feeds only the worker
+            // utilization metrics, never a result.
+            #[allow(clippy::disallowed_methods)]
             let t0 = Instant::now();
             run(id, item, &handle);
             let c = &shared.counters[id];

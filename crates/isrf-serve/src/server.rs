@@ -2,7 +2,9 @@
 //! worker pool wiring, the HTTP route table, and graceful drain.
 //!
 //! Life of a job: `POST /jobs` validates the spec, consults the result
-//! cache (a hit completes instantly), applies the queue bound (429 +
+//! cache (a hit completes instantly), statically verifies every point
+//! before admission (`422` with the verifier's structured diagnostics on
+//! failure; verdicts memoized per point), applies the queue bound (429 +
 //! `Retry-After` on overflow), then enqueues an *expand* item on the
 //! pool's injector. The worker that picks it up fans the sweep's points
 //! onto its own deque — stealable by siblings — and runs point 0 inline.
@@ -26,7 +28,7 @@ use isrf_kernel::sched::schedule_cache_stats;
 use isrf_sim::tape_cache_stats;
 use isrf_trace::{Histogram, MetricsRegistry};
 
-use crate::exec::PointRunner;
+use crate::exec::{analyze_point, PointRunner};
 use crate::http::{read_request, HttpError, Limits, Request, Response};
 use crate::json::Json;
 use crate::pool::{Pool, WorkerHandle};
@@ -135,12 +137,16 @@ struct Job {
 impl Job {
     fn new(id: u64, spec: JobSpec, hash: u128, restored: Vec<Option<Vec<u8>>>) -> Arc<Job> {
         let points = spec.points.iter().map(|_| PointState::default()).collect();
+        // Sanctioned wall-clock read: feeds only the latency histogram,
+        // never a result.
+        #[allow(clippy::disallowed_methods)]
+        let submitted = Instant::now();
         Arc::new(Job {
             id,
             spec,
             hash,
             cancel: AtomicBool::new(false),
-            submitted: Instant::now(),
+            submitted,
             state: Mutex::new(JobState {
                 phase: Phase::Queued,
                 points,
@@ -181,6 +187,13 @@ struct Core {
     jobs_failed: AtomicU64,
     jobs_cancelled: AtomicU64,
     jobs_rejected: AtomicU64,
+    /// Jobs rejected at admission by static verification (`422`).
+    jobs_rejected_static: AtomicU64,
+    /// Pre-admission verdicts keyed by [`crate::spec::PointSpec::verify_hash`]:
+    /// `None` = clean, `Some` = the structured diagnostics that reject it.
+    verify_cache: Mutex<BTreeMap<u128, Option<Arc<Vec<Json>>>>>,
+    verify_hits: AtomicU64,
+    verify_misses: AtomicU64,
     latency_ms: Mutex<Histogram>,
     started: Instant,
     pool: Mutex<Option<Pool<WorkItem>>>,
@@ -445,6 +458,48 @@ fn submit(core: &Arc<Core>, req: &Request) -> Response {
         core.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    // Pre-admission static verification: every point is analyzed — and
+    // the verdict memoized by `PointSpec::verify_hash` — before anything
+    // touches the queue, so a statically hazardous program is rejected
+    // here with the verifier's structured diagnostics instead of
+    // surfacing as a worker-side failure after admission.
+    let mut rejected: Vec<Json> = Vec::new();
+    for (idx, point) in spec.points.iter().enumerate() {
+        let key = point.verify_hash();
+        let cached = core.verify_cache.lock().unwrap().get(&key).cloned();
+        let verdict = match cached {
+            Some(v) => {
+                core.verify_hits.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                core.verify_misses.fetch_add(1, Ordering::Relaxed);
+                let v = match analyze_point(point) {
+                    Ok(()) => None,
+                    Err(diags) => Some(Arc::new(diags)),
+                };
+                core.verify_cache.lock().unwrap().insert(key, v.clone());
+                v
+            }
+        };
+        if let Some(diags) = verdict {
+            rejected.push(Json::Obj(vec![
+                ("point".into(), Json::u64(idx as u64)),
+                ("diagnostics".into(), Json::Arr(diags.as_ref().clone())),
+            ]));
+        }
+    }
+    if !rejected.is_empty() {
+        core.jobs_rejected_static.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            422,
+            &Json::Obj(vec![
+                ("error".into(), Json::str("static verification failed")),
+                ("rejected_points".into(), Json::Arr(rejected)),
+            ]),
+        );
+    }
+
     // Bounded admission: reject rather than buffer without bound.
     if core.queued.load(Ordering::SeqCst) >= core.cfg.queue_cap {
         core.jobs_rejected.fetch_add(1, Ordering::Relaxed);
@@ -561,6 +616,22 @@ fn metrics(core: &Core) -> Response {
     reg.set(
         "serve_jobs_rejected_429",
         core.jobs_rejected.load(Ordering::Relaxed),
+    );
+    reg.set(
+        "serve_jobs_rejected_static",
+        core.jobs_rejected_static.load(Ordering::Relaxed),
+    );
+    reg.set(
+        "serve_verify_cache_hits",
+        core.verify_hits.load(Ordering::Relaxed),
+    );
+    reg.set(
+        "serve_verify_cache_misses",
+        core.verify_misses.load(Ordering::Relaxed),
+    );
+    reg.set(
+        "serve_verify_cache_entries",
+        core.verify_cache.lock().unwrap().len() as u64,
     );
     reg.set(
         "serve_result_cache_hits",
@@ -789,6 +860,10 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers;
+        // Sanctioned wall-clock read: feeds only the uptime/throughput
+        // metrics, never a result.
+        #[allow(clippy::disallowed_methods)]
+        let started = Instant::now();
         let core = Arc::new(Core {
             cfg,
             bound: Mutex::new(Some(addr)),
@@ -804,8 +879,12 @@ impl Server {
             jobs_failed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            jobs_rejected_static: AtomicU64::new(0),
+            verify_cache: Mutex::new(BTreeMap::new()),
+            verify_hits: AtomicU64::new(0),
+            verify_misses: AtomicU64::new(0),
             latency_ms: Mutex::new(Histogram::default()),
-            started: Instant::now(),
+            started,
             pool: Mutex::new(None),
         });
 

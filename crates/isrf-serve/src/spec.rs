@@ -55,6 +55,53 @@ pub struct PointSpec {
     pub engine: ExecEngine,
 }
 
+impl PointSpec {
+    /// Stable 128-bit hash of the fields that determine the point's
+    /// *static verification* verdict: the program (app or source harness
+    /// shape) and the machine configuration. The execution engine is
+    /// deliberately excluded — both engines run the same verified
+    /// program — so an engine sweep of one app verifies once.
+    pub fn verify_hash(&self) -> u128 {
+        let mut h = StableHasher::new();
+        h.write_u8(b'V');
+        match &self.app {
+            AppRef::Named(name) => {
+                h.write_u8(0);
+                h.write_usize(name.len());
+                for b in name.bytes() {
+                    h.write_u8(b);
+                }
+            }
+            AppRef::Source {
+                src,
+                records_per_lane,
+                table_records_per_lane,
+                seed,
+            } => {
+                h.write_u8(1);
+                h.write_usize(src.len());
+                for b in src.bytes() {
+                    h.write_u8(b);
+                }
+                h.write_u32(*records_per_lane);
+                h.write_u32(*table_records_per_lane);
+                h.write_u32(*seed);
+            }
+        }
+        h.write_u8(
+            ConfigName::ALL
+                .iter()
+                .position(|&c| c == self.config)
+                .expect("preset config") as u8,
+        );
+        h.write_u8(match self.profile {
+            Profile::Small => 0,
+            Profile::Paper => 1,
+        });
+        h.finish128()
+    }
+}
+
 /// A full job: one or more points plus job-level options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {

@@ -321,15 +321,75 @@ fn source_spmv_sweep_matches_direct_runs() {
 
 #[test]
 fn bad_source_fails_with_diagnostics() {
+    // A source kernel that does not even build (parse error) is rejected
+    // at admission with a structured `E000`/`build` pseudo-diagnostic.
     let (server, mut client) = start(1, 4, 50_000);
     let (status, v) = submit(&mut client, r#"{"source":"kernel oops("}"#);
-    assert_eq!(status, 202, "{}", v.render());
-    let id = v.get("id").and_then(Json::as_u64).unwrap();
-    let st = client.wait_job(id, Duration::from_secs(30)).unwrap();
-    assert_eq!(st.get("status").and_then(Json::as_str), Some("failed"));
-    assert!(st.get("errors").is_some());
-    let resp = client.get(&format!("/jobs/{id}/result")).unwrap();
-    assert_eq!(resp.status, 409);
+    assert_eq!(status, 422, "{}", v.render());
+    let rej = v.get("rejected_points").and_then(Json::as_arr).unwrap();
+    let diags = rej[0].get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("E000"));
+    assert_eq!(diags[0].get("check").and_then(Json::as_str), Some("build"));
+    server.stop();
+}
+
+/// Pull one counter's value out of the rendered /metrics text.
+fn metric(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let mut it = l.split_whitespace();
+        if it.next() == Some(name) {
+            it.next().and_then(|v| v.parse().ok())
+        } else {
+            None
+        }
+    })
+}
+
+#[test]
+fn statically_invalid_job_is_rejected_before_queueing() {
+    // The pre-admission gate: a kernel whose constant indexed access
+    // overruns the bound table is rejected with the verifier's structured
+    // V303 diagnostic before anything touches the queue or job table, the
+    // verdict is memoized, and the outcome is visible in /metrics.
+    let (server, mut client) = start(1, 4, 50_000);
+    let src = "kernel bad(istream<int> in, idxl_istream<int> LUT, ostream<int> out) {\n\
+               int a, b;\n while (!eos(in)) { in >> a; LUT[100] >> b; out << b; } }";
+    let body = format!(
+        r#"{{"source":{},"config":"ISRF4","table_records_per_lane":4}}"#,
+        Json::str(src).render()
+    );
+    let (status, v) = submit(&mut client, &body);
+    assert_eq!(status, 422, "{}", v.render());
+    assert_eq!(
+        v.get("error").and_then(Json::as_str),
+        Some("static verification failed")
+    );
+    assert!(v.get("id").is_none(), "rejected job must not get an id");
+    let rej = v.get("rejected_points").and_then(Json::as_arr).unwrap();
+    assert_eq!(rej.len(), 1);
+    assert_eq!(rej[0].get("point").and_then(Json::as_u64), Some(0));
+    let diags = rej[0].get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("V303"));
+    assert_eq!(diags[0].get("kernel").and_then(Json::as_str), Some("bad"));
+    assert!(diags[0].get("line").and_then(Json::as_u64).is_some());
+
+    // Resubmitting hits the verdict memo, not the analyzer.
+    let (status2, _) = submit(&mut client, &body);
+    assert_eq!(status2, 422);
+
+    let resp = client.get("/metrics").unwrap();
+    let text = String::from_utf8(resp.body).unwrap();
+    assert_eq!(metric(&text, "serve_jobs_rejected_static"), Some(2));
+    assert_eq!(metric(&text, "serve_verify_cache_misses"), Some(1));
+    assert_eq!(metric(&text, "serve_verify_cache_hits"), Some(1));
+    // Nothing was admitted: the queue stayed empty (zero-valued counters
+    // are dropped from the rendering) and the job table never got an id.
+    assert_eq!(metric(&text, "serve_queue_depth"), None);
+    let resp = client.get("/jobs/1").unwrap();
+    assert_eq!(
+        resp.status, 404,
+        "rejected job must not enter the job table"
+    );
     server.stop();
 }
 

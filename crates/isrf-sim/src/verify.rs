@@ -31,6 +31,10 @@ pub struct Diagnostic {
     pub kernel_op: Option<usize>,
     /// `.isrf` source line, when the kernel was compiled from source.
     pub line: Option<u32>,
+    /// Supporting facts — derived value intervals and the dataflow path
+    /// that produced them. Rendered by explain modes; [`fmt::Display`]
+    /// stays single-line.
+    pub notes: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -175,6 +179,7 @@ mod tests {
             kernel: Some("lookup".into()),
             kernel_op: Some(2),
             line: Some(9),
+            notes: vec!["interval [0, 7]".into()],
         };
         let s = d.to_string();
         for part in ["V101", "liveness", "program op 3", "lookup", "line 9"] {

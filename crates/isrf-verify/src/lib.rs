@@ -1,9 +1,9 @@
-//! Static hazard analyzer for ISRF stream programs.
+//! Static hazard analyzer and cost model for ISRF stream programs.
 //!
 //! [`Verifier`] implements [`isrf_sim::ProgramVerifier`]: a dataflow
 //! analysis over a [`StreamProgram`] and the kernel bodies it invokes that
 //! proves, *before* a single cycle is simulated, that the program cannot
-//! trip the simulator's runtime hazards. Five check families:
+//! trip the simulator's runtime hazards. Seven check families:
 //!
 //! * **Liveness** ([`codes::UNFILLED_READ`], [`codes::UNALLOCATED_BINDING`])
 //!   — every stream a kernel or store reads is filled by a memory load, a
@@ -19,6 +19,12 @@
 //!   hardware, cross-lane streams only where the inter-lane index network
 //!   exists, and interval analysis over each kernel body flags index
 //!   expressions *provably* outside their stream's record range.
+//! * **Propagation** ([`codes::PROPAGATED_INDEX_OOB`],
+//!   [`codes::PROPAGATED_WRITE_OOB`], [`codes::GATHER_ADDRESS_WRAP`]) —
+//!   whole-program abstract interpretation flows value intervals from
+//!   producer kernels through SRF streams into consumer kernels and
+//!   memory ops, catching cross-kernel overruns invisible to per-kernel
+//!   analysis (see the `prop` module docs for the abstract store).
 //! * **Slack** ([`codes::INSUFFICIENT_SLACK`]) — every indexed data read is
 //!   scheduled at least the configured address→data separation after its
 //!   paired address issue.
@@ -26,10 +32,22 @@
 //!   the modulo schedule's address pushes and data pops proves the address
 //!   FIFO + stream buffer can always drain; otherwise the exact blocked op
 //!   and kernel cycle are reported.
+//! * **Space** ([`codes::DEAD_STREAM`], [`codes::OVER_ALLOCATION`]) —
+//!   SRF-space *warnings*: streams that are filled but never read, and
+//!   ranges at least twice as large as the records they hold. Warnings
+//!   never fail verification; they surface only through [`Verifier::report`].
+//!
+//! [`Verifier::report`] additionally computes a static [`CostModel`]: a
+//! sound whole-program cycle lower bound with per-kernel port pressure and
+//! address-FIFO occupancy bounds (see the [`cost`] module docs for the
+//! formulas and their soundness arguments).
 //!
 //! Diagnostics carry `.isrf` source lines whenever the kernel was compiled
 //! from source (the `isrf-lang` lowering records a line per op), so a
 //! finding points at the offending statement, not just an IR index.
+//! Propagation diagnostics also carry `notes` — the derived intervals and
+//! the dataflow path (which producer filled which SRF words) that
+//! triggered them.
 //!
 //! The analysis is sound but necessarily incomplete: stream fills are
 //! tracked at range granularity, and index bounds are flagged only when
@@ -40,12 +58,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod interval;
+mod prop;
+
+pub mod cost;
+
 use isrf_core::config::MachineConfig;
-use isrf_kernel::ir::{Kernel, Op, Opcode, StreamKind};
+use isrf_kernel::ir::{Kernel, Opcode, StreamKind};
 use isrf_kernel::sched::Schedule;
 use isrf_sim::program::{ProgOp, StreamProgram};
 use isrf_sim::stream::StreamBinding;
 use isrf_sim::verify::{Diagnostic, ProgramVerifier, VerifyEnv};
+
+pub use cost::{cost_model, CostModel, KernelCost, StreamCost};
+
+use interval::{eval_intervals, operand_interval, AbsVal};
+use prop::{input_slots_feeding, propagate};
 
 /// Stable diagnostic codes, grouped by check family.
 pub mod codes {
@@ -65,15 +93,109 @@ pub mod codes {
     pub const CROSS_LANE_WITHOUT_NETWORK: &str = "V302";
     /// An index expression provably outside the stream's record range.
     pub const INDEX_OUT_OF_BOUNDS: &str = "V303";
+    /// A cross-kernel index overrun: the index is in bounds under
+    /// per-kernel analysis (the stream input is unknown), but the interval
+    /// propagated from the producing kernel proves it out of range.
+    pub const PROPAGATED_INDEX_OOB: &str = "V310";
+    /// A cross-kernel indexed *write* overrun, analogous to V310.
+    pub const PROPAGATED_WRITE_OOB: &str = "V311";
+    /// Every index a gather/scatter reads from the SRF provably wraps the
+    /// 32-bit word address space when added to the op's base.
+    pub const GATHER_ADDRESS_WRAP: &str = "V312";
     /// An indexed read scheduled closer to its address issue than the
     /// configured address→data separation.
     pub const INSUFFICIENT_SLACK: &str = "V401";
     /// The address FIFO / stream buffer can wedge: the schedule demands
     /// more outstanding records than the hardware can hold.
     pub const FIFO_DEADLOCK: &str = "V501";
+    /// A stream is filled but never read by any later op (warning).
+    pub const DEAD_STREAM: &str = "W601";
+    /// An SRF range at least twice as large as its records need (warning).
+    pub const OVER_ALLOCATION: &str = "W602";
 }
 
-/// The five independent check families. Disabling one (for triage, or in
+/// The rule behind a diagnostic code, for `--explain`-style tooling.
+/// Returns `None` for unknown codes.
+pub fn explain(code: &str) -> Option<&'static str> {
+    Some(match code {
+        codes::UNFILLED_READ => {
+            "Every SRF region a kernel or store reads must be filled first — by a memory \
+             load, an earlier kernel's output, or pre-existing SRF data — on every path. \
+             Fills are tracked at range granularity over the program's dependence order."
+        }
+        codes::UNALLOCATED_BINDING => {
+            "A binding must stay inside the SRF words the allocator has handed out; reading \
+             or writing unallocated words is undefined in hardware and panics the simulator."
+        }
+        codes::BINDING_OVERFLOW => {
+            "A binding's records (records x record_words, laid out record-interleaved \
+             across lanes) must fit inside its declared SRF range."
+        }
+        codes::OVERLAP_HAZARD => {
+            "Two program ops with no ordering dependence between them must not touch \
+             overlapping SRF words when at least one writes; the simulator may execute \
+             them in either order. Memory ops snapshot their SRF sources at issue, so a \
+             WAR pair whose read provably precedes the kernel's first write is exempt \
+             (double-buffered strip mining relies on this)."
+        }
+        codes::CAPACITY_EXCEEDED => "An SRF range must fit inside the per-lane bank capacity.",
+        codes::INDEXED_ON_NON_INDEXED_CONFIG => {
+            "Indexed streams (in-lane or cross-lane) require indexed-SRF hardware; the \
+             Base and Cache configurations have none."
+        }
+        codes::CROSS_LANE_WITHOUT_NETWORK => {
+            "Cross-lane indexed streams require the inter-lane index network, which this \
+             configuration disables."
+        }
+        codes::INDEX_OUT_OF_BOUNDS => {
+            "Interval analysis over the kernel body (constants, lane/iteration IDs, \
+             arithmetic, masking) proves every value this index expression can take is \
+             outside the stream's valid records 0..=max. Per-kernel analysis treats stream \
+             inputs as unknown, so only locally-provable overruns are flagged."
+        }
+        codes::PROPAGATED_INDEX_OOB => {
+            "Whole-program propagation: value intervals flow from producer kernels through \
+             SRF streams (store -> stream -> read) into this kernel's inputs, and with \
+             those inputs the index is provably out of bounds — even though per-kernel \
+             analysis (inputs unknown) cannot see it. The diagnostic notes list the \
+             derived intervals and the producing ops on the dataflow path."
+        }
+        codes::PROPAGATED_WRITE_OOB => {
+            "Same whole-program propagation as V310, for the index operand of an indexed \
+             stream write."
+        }
+        codes::GATHER_ADDRESS_WRAP => {
+            "The index stream this gather/scatter reads was produced by a kernel whose \
+             propagated value interval proves every element, added to the op's base, \
+             wraps the 32-bit word address space — a mis-built index stream, not a \
+             plausible sparse access pattern."
+        }
+        codes::INSUFFICIENT_SLACK => {
+            "An indexed data read must be scheduled at least the configured address->data \
+             separation after its paired address issue, or the access cannot have \
+             completed even without conflicts."
+        }
+        codes::FIFO_DEADLOCK => {
+            "Event-driven replay of the modulo schedule's address pushes and data pops \
+             against the address-FIFO and stream-buffer capacities; the schedule must \
+             never demand more outstanding records than the hardware can hold, or the \
+             all-or-nothing issue group wedges."
+        }
+        codes::DEAD_STREAM => {
+            "Warning: a stream is filled (by a load or a kernel output) but no kernel, \
+             store, gather, or scatter ever reads the words — wasted SRF space and \
+             memory/compute bandwidth."
+        }
+        codes::OVER_ALLOCATION => {
+            "Warning: an SRF range is at least twice as large as the records bound into \
+             it need (and wastes at least 8 words per bank) — SRF capacity is the \
+             paper's scarcest resource."
+        }
+        _ => return None,
+    })
+}
+
+/// The seven independent check families. Disabling one (for triage, or in
 /// the test suite to prove each check is load-bearing) drops exactly its
 /// diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,20 +209,26 @@ pub enum Check {
     /// V301/V302/V303: indexed streams match the hardware and index
     /// expressions stay in bounds.
     Indexed,
+    /// V310/V311/V312: cross-kernel interval propagation over the SRF.
+    Propagation,
     /// V401: address→data decoupling slack is respected.
     Slack,
     /// V501: address FIFOs cannot deadlock.
     Deadlock,
+    /// W601/W602: SRF space warnings (report-only, never fail verify).
+    Space,
 }
 
 impl Check {
     /// All checks, in reporting order.
-    pub const ALL: [Check; 5] = [
+    pub const ALL: [Check; 7] = [
         Check::Liveness,
         Check::Allocation,
         Check::Indexed,
+        Check::Propagation,
         Check::Slack,
         Check::Deadlock,
+        Check::Space,
     ];
 
     fn name(self) -> &'static str {
@@ -108,8 +236,10 @@ impl Check {
             Check::Liveness => "liveness",
             Check::Allocation => "allocation",
             Check::Indexed => "indexed",
+            Check::Propagation => "propagation",
             Check::Slack => "slack",
             Check::Deadlock => "deadlock",
+            Check::Space => "space",
         }
     }
 
@@ -118,8 +248,10 @@ impl Check {
             Check::Liveness => 0,
             Check::Allocation => 1,
             Check::Indexed => 2,
-            Check::Slack => 3,
-            Check::Deadlock => 4,
+            Check::Propagation => 3,
+            Check::Slack => 4,
+            Check::Deadlock => 5,
+            Check::Space => 6,
         }
     }
 }
@@ -127,7 +259,7 @@ impl Check {
 /// The analyzer: all checks enabled by default.
 #[derive(Debug, Clone)]
 pub struct Verifier {
-    enabled: [bool; 5],
+    enabled: [bool; 7],
 }
 
 impl Default for Verifier {
@@ -136,10 +268,23 @@ impl Default for Verifier {
     }
 }
 
+/// Everything the analyzer can say about a program: hard findings (the
+/// same list [`Verifier::verify`] returns), space warnings, and the static
+/// cost model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Hard findings — a non-empty list fails verification.
+    pub diagnostics: Vec<Diagnostic>,
+    /// W6xx space warnings — advisory only.
+    pub warnings: Vec<Diagnostic>,
+    /// Static cycle lower bound and per-kernel pressure breakdown.
+    pub cost: CostModel,
+}
+
 impl Verifier {
     /// A verifier with every check enabled.
     pub fn new() -> Self {
-        Verifier { enabled: [true; 5] }
+        Verifier { enabled: [true; 7] }
     }
 
     /// Disable one check family (builder-style).
@@ -150,6 +295,23 @@ impl Verifier {
 
     fn on(&self, check: Check) -> bool {
         self.enabled[check.bit()]
+    }
+
+    /// Full analysis: the diagnostics [`Verifier::verify`] would return,
+    /// plus space warnings and the static cost model. Warnings never
+    /// appear in `diagnostics` — a warned program still verifies clean.
+    pub fn report(&self, cfg: &MachineConfig, env: &VerifyEnv, program: &StreamProgram) -> Report {
+        let diagnostics = self.verify(cfg, env, program);
+        let ctx = Analysis::new(cfg, env, program);
+        let mut warnings = Vec::new();
+        if self.on(Check::Space) {
+            ctx.check_space(&mut warnings);
+        }
+        Report {
+            diagnostics,
+            warnings,
+            cost: cost_model(cfg, program),
+        }
     }
 }
 
@@ -170,6 +332,9 @@ impl ProgramVerifier for Verifier {
         }
         if self.on(Check::Indexed) {
             ctx.check_indexed(&mut out);
+        }
+        if self.on(Check::Propagation) {
+            ctx.check_propagation(&mut out);
         }
         if self.on(Check::Slack) {
             ctx.check_slack(&mut out);
@@ -208,6 +373,39 @@ struct Analysis<'a> {
 
 fn bit_get(row: &[u64], j: usize) -> bool {
     row[j / 64] & (1 << (j % 64)) != 0
+}
+
+/// Per-bank `[lo, hi)` word interval an access through `b` can touch.
+/// Indexed accesses may reach the whole range; sequential/conditional
+/// accesses are bounded by the records the binding actually covers. `None`
+/// for empty bindings.
+pub(crate) fn binding_footprint(
+    b: &StreamBinding,
+    indexed: bool,
+    lanes: u32,
+) -> Option<(u32, u32)> {
+    if indexed {
+        return Some((b.range.base, b.range.base + b.range.words_per_bank));
+    }
+    if b.records == 0 || b.record_words == 0 {
+        return None;
+    }
+    let min_rec = b.absolute_record(0);
+    let max_rec = if b.stride_records == 0 {
+        // Periodic window: every run re-reads records start..start+run.
+        b.start_record + b.run_records.min(b.records) - 1
+    } else {
+        b.absolute_record(b.records - 1)
+    };
+    let lo = b.range.base + (min_rec / lanes) * b.record_words;
+    let hi = b.range.base + (max_rec / lanes) * b.record_words + b.record_words;
+    Some((lo, hi))
+}
+
+/// The full SRF range of a binding — the granularity at which fills are
+/// tracked (matching `Machine`'s fill bookkeeping).
+pub(crate) fn range_interval(b: &StreamBinding) -> (u32, u32) {
+    (b.range.base, b.range.base + b.range.words_per_bank)
 }
 
 impl<'a> Analysis<'a> {
@@ -308,39 +506,31 @@ impl<'a> Analysis<'a> {
         self.cfg.srf.bank_words(self.cfg.lanes) as u32
     }
 
-    /// Per-bank `[lo, hi)` word interval an access can touch. Indexed
-    /// accesses may reach the whole range; sequential/conditional accesses
-    /// are bounded by the records the binding actually covers. `None` for
-    /// empty bindings.
     fn footprint(&self, a: &Access) -> Option<(u32, u32)> {
-        let b = &a.binding;
-        if a.indexed {
-            return Some((b.range.base, b.range.base + b.range.words_per_bank));
-        }
-        if b.records == 0 || b.record_words == 0 {
-            return None;
-        }
-        let min_rec = b.absolute_record(0);
-        let max_rec = if b.stride_records == 0 {
-            // Periodic window: every run re-reads records start..start+run.
-            b.start_record + b.run_records.min(b.records) - 1
-        } else {
-            b.absolute_record(b.records - 1)
-        };
-        let lanes = self.cfg.lanes as u32;
-        let lo = b.range.base + (min_rec / lanes) * b.record_words;
-        let hi = b.range.base + (max_rec / lanes) * b.record_words + b.record_words;
-        Some((lo, hi))
-    }
-
-    /// The full SRF range of a binding — the granularity at which fills
-    /// are tracked (matching `Machine`'s fill bookkeeping).
-    fn range_interval(b: &StreamBinding) -> (u32, u32) {
-        (b.range.base, b.range.base + b.range.words_per_bank)
+        binding_footprint(&a.binding, a.indexed, self.cfg.lanes as u32)
     }
 
     fn exceeds_bank(&self, b: &StreamBinding) -> bool {
         b.range.base + b.range.words_per_bank > self.bank_words()
+    }
+
+    /// Valid record indices for an index into `slot` of `kernel` bound to
+    /// `b`: `0..=max`. `None` when the binding has no records.
+    fn max_valid_record(
+        &self,
+        kernel: &Kernel,
+        slot: isrf_kernel::ir::StreamSlot,
+        b: &StreamBinding,
+    ) -> Option<i64> {
+        if b.record_words == 0 {
+            return None;
+        }
+        let per_lane = (b.range.words_per_bank / b.record_words) as i64;
+        Some(if kernel.stream(slot).kind.is_cross_lane() {
+            self.cfg.lanes as i64 * per_lane - 1
+        } else {
+            per_lane - 1
+        })
     }
 
     // -----------------------------------------------------------------------
@@ -350,7 +540,7 @@ impl<'a> Analysis<'a> {
     fn check_liveness(&self, out: &mut Vec<Diagnostic>) {
         let check = Check::Liveness.name();
         for a in &self.accesses {
-            let (lo, hi) = Self::range_interval(&a.binding);
+            let (lo, hi) = range_interval(&a.binding);
             if self.exceeds_bank(&a.binding) {
                 continue; // V202's domain (allocation check)
             }
@@ -367,6 +557,7 @@ impl<'a> Analysis<'a> {
                     kernel: None,
                     kernel_op: None,
                     line: None,
+                    notes: Vec::new(),
                 });
                 continue; // an unallocated stream is trivially also unfilled
             }
@@ -380,7 +571,7 @@ impl<'a> Analysis<'a> {
             let mut covered: Vec<(u32, u32)> = self.env.filled.clone();
             for w in &self.accesses {
                 if w.write && bit_get(&self.before[a.prog_op], w.prog_op) {
-                    covered.push(Self::range_interval(&w.binding));
+                    covered.push(range_interval(&w.binding));
                 }
             }
             if !interval_covers(&mut covered, lo, hi) {
@@ -396,6 +587,7 @@ impl<'a> Analysis<'a> {
                     kernel: None,
                     kernel_op: None,
                     line: None,
+                    notes: Vec::new(),
                 });
             }
         }
@@ -410,7 +602,7 @@ impl<'a> Analysis<'a> {
         for a in &self.accesses {
             let b = &a.binding;
             if self.exceeds_bank(b) {
-                let (lo, hi) = Self::range_interval(b);
+                let (lo, hi) = range_interval(b);
                 out.push(Diagnostic {
                     code: codes::CAPACITY_EXCEEDED.into(),
                     check: check.into(),
@@ -424,6 +616,7 @@ impl<'a> Analysis<'a> {
                     kernel: None,
                     kernel_op: None,
                     line: None,
+                    notes: Vec::new(),
                 });
                 continue;
             }
@@ -450,6 +643,7 @@ impl<'a> Analysis<'a> {
                         kernel: None,
                         kernel_op: None,
                         line: None,
+                        notes: Vec::new(),
                     });
                 }
             }
@@ -512,6 +706,7 @@ impl<'a> Analysis<'a> {
                         kernel: None,
                         kernel_op: None,
                         line: None,
+                        notes: Vec::new(),
                     });
                 }
             }
@@ -582,7 +777,7 @@ impl<'a> Analysis<'a> {
 
             // Interval analysis over the kernel body: flag indices that are
             // *provably* outside the addressable records of their binding.
-            let vals = eval_intervals(kernel, *iters, self.cfg.lanes as i64);
+            let vals = eval_intervals(kernel, *iters, self.cfg.lanes as i64, &[]);
             for (kop, op) in kernel.ops.iter().enumerate() {
                 let (slot, iv) = match op.opcode {
                     Opcode::IdxAddr(s) => (s, vals[kop]),
@@ -590,15 +785,10 @@ impl<'a> Analysis<'a> {
                     _ => continue,
                 };
                 let Some(iv) = iv else { continue };
-                let b = &bindings[slot.0 as usize];
-                if b.record_words == 0 {
+                let Some(max_valid) =
+                    self.max_valid_record(kernel, slot, &bindings[slot.0 as usize])
+                else {
                     continue;
-                }
-                let per_lane = (b.range.words_per_bank / b.record_words) as i64;
-                let max_valid = if kernel.stream(slot).kind.is_cross_lane() {
-                    self.cfg.lanes as i64 * per_lane - 1
-                } else {
-                    per_lane - 1
                 };
                 if iv.lo > max_valid || iv.hi < 0 {
                     out.push(kdiag(
@@ -616,6 +806,166 @@ impl<'a> Analysis<'a> {
                         ),
                     ));
                 }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Propagation: V310 / V311 / V312
+    // -----------------------------------------------------------------------
+
+    /// Whole-program abstract interpretation (see `prop`): re-run the
+    /// per-kernel interval analysis with stream inputs seeded from the
+    /// producing ops, and flag overruns the `&[]`-seeded local pass (V303)
+    /// cannot see. Gather/scatter index streams are checked for guaranteed
+    /// 32-bit address wrap (the simulator's address arithmetic would
+    /// overflow on every element).
+    fn check_propagation(&self, out: &mut Vec<Diagnostic>) {
+        let check = Check::Propagation.name();
+        let prop = propagate(self.cfg, self.env, self.program);
+        for i in 0..self.program.len() {
+            let (op, _) = self.program.node(i);
+            match op {
+                ProgOp::Kernel {
+                    kernel,
+                    bindings,
+                    iters,
+                    ..
+                } => {
+                    if self.cfg.srf.indexed.is_none() {
+                        continue; // V301's domain
+                    }
+                    let slots_in = &prop.kernel_in[i];
+                    let stream_in: Vec<AbsVal> = slots_in
+                        .iter()
+                        .map(|s| s.as_ref().and_then(|f| f.val))
+                        .collect();
+                    if stream_in.iter().all(|v| v.is_none()) {
+                        continue; // nothing propagated: identical to V303
+                    }
+                    let local = eval_intervals(kernel, *iters, self.cfg.lanes as i64, &[]);
+                    let vals = eval_intervals(kernel, *iters, self.cfg.lanes as i64, &stream_in);
+                    for (kop, op) in kernel.ops.iter().enumerate() {
+                        let (slot, piv, liv, code) = match op.opcode {
+                            Opcode::IdxAddr(s) => {
+                                (s, vals[kop], local[kop], codes::PROPAGATED_INDEX_OOB)
+                            }
+                            Opcode::IdxWrite(s) => (
+                                s,
+                                operand_interval(&vals, op, 0),
+                                operand_interval(&local, op, 0),
+                                codes::PROPAGATED_WRITE_OOB,
+                            ),
+                            _ => continue,
+                        };
+                        let Some(max_valid) =
+                            self.max_valid_record(kernel, slot, &bindings[slot.0 as usize])
+                        else {
+                            continue;
+                        };
+                        let viol = |v: AbsVal| v.is_some_and(|iv| iv.lo > max_valid || iv.hi < 0);
+                        // Locally-provable overruns are V303's finding; here
+                        // only the cross-kernel ones.
+                        if !viol(piv) || viol(liv) {
+                            continue;
+                        }
+                        let piv = piv.expect("violation implies Some");
+                        let mut notes = vec![format!(
+                            "propagated index interval [{}, {}]; valid records 0..={max_valid}",
+                            piv.lo, piv.hi
+                        )];
+                        for s in input_slots_feeding(kernel, op.operands[0].value.index()) {
+                            let Some(f) = slots_in.get(s).and_then(|f| f.as_ref()) else {
+                                continue;
+                            };
+                            let Some(fv) = f.val else { continue };
+                            notes.push(format!(
+                                "input `{}` holds values in [{}, {}] from SRF words \
+                                 [{}, {}) per bank, filled by {}",
+                                kernel.streams[s].name,
+                                fv.lo,
+                                fv.hi,
+                                f.region.0,
+                                f.region.1,
+                                if f.sources.is_empty() {
+                                    "pre-existing data".to_string()
+                                } else {
+                                    f.sources.join("; ")
+                                }
+                            ));
+                        }
+                        let mut d = kdiag(
+                            code,
+                            check,
+                            i,
+                            kernel,
+                            Some(kop),
+                            format!(
+                                "index into stream `{}` is out of bounds across kernels: \
+                                 propagated value in [{}, {}] but valid records are \
+                                 0..={max_valid} (per-kernel analysis cannot see this)",
+                                kernel.stream(slot).name,
+                                piv.lo,
+                                piv.hi
+                            ),
+                        );
+                        d.notes = notes;
+                        out.push(d);
+                    }
+                }
+                ProgOp::GatherDyn { base, .. } | ProgOp::ScatterDyn { base, .. } => {
+                    let Some(f) = &prop.mem_index[i] else {
+                        continue;
+                    };
+                    let Some(iv) = f.val else { continue };
+                    let base_i = *base as i64;
+                    // `base + index` is computed in u32: with every index
+                    // negative the two's-complement bit pattern adds 2^32,
+                    // so the sum wraps exactly when base >= -index; with
+                    // every index non-negative it wraps when base + lo
+                    // already exceeds u32::MAX.
+                    let wraps_all = if iv.hi < 0 {
+                        base_i >= -iv.lo
+                    } else if iv.lo >= 0 {
+                        base_i + iv.lo > u32::MAX as i64
+                    } else {
+                        false
+                    };
+                    if !wraps_all {
+                        continue;
+                    }
+                    let kind = if matches!(op, ProgOp::GatherDyn { .. }) {
+                        "gather"
+                    } else {
+                        "scatter"
+                    };
+                    out.push(Diagnostic {
+                        code: codes::GATHER_ADDRESS_WRAP.into(),
+                        check: check.into(),
+                        message: format!(
+                            "{kind} (op {i}): every index in the index stream provably \
+                             wraps the 32-bit word address space when added to base {base}"
+                        ),
+                        prog_op: Some(i),
+                        kernel: None,
+                        kernel_op: None,
+                        line: None,
+                        notes: vec![format!(
+                            "index stream holds values in [{}, {}] from SRF words \
+                             [{}, {}) per bank, filled by {}",
+                            iv.lo,
+                            iv.hi,
+                            f.region.0,
+                            f.region.1,
+                            if f.sources.is_empty() {
+                                "pre-existing data".to_string()
+                            } else {
+                                f.sources.join("; ")
+                            }
+                        )],
+                    });
+                }
+                _ => {}
             }
         }
     }
@@ -710,6 +1060,136 @@ impl<'a> Analysis<'a> {
             }
         }
     }
+
+    // -----------------------------------------------------------------------
+    // Space: W601 / W602 (warnings, report-only)
+    // -----------------------------------------------------------------------
+
+    fn check_space(&self, out: &mut Vec<Diagnostic>) {
+        let check = Check::Space.name();
+        // W601: a filled region no op ever reads. Any overlapping read —
+        // ordered or not, kernel input, store source, or gather/scatter
+        // index stream — counts as consumption.
+        for i in 0..self.program.len() {
+            let (op, _) = self.program.node(i);
+            let mut dead = |region: Option<(u32, u32)>, label: String, d: Option<Diagnostic>| {
+                let Some((lo, hi)) = region else { return };
+                let read_back = self.accesses.iter().any(|r| {
+                    !r.write && matches!(self.footprint(r), Some((rl, rh)) if rl < hi && lo < rh)
+                });
+                if read_back {
+                    return;
+                }
+                out.push(d.unwrap_or(Diagnostic {
+                    code: codes::DEAD_STREAM.into(),
+                    check: check.into(),
+                    message: format!(
+                        "{label} fills SRF words [{lo}, {hi}) per bank, but no kernel, \
+                         store, gather, or scatter ever reads them"
+                    ),
+                    prog_op: Some(i),
+                    kernel: None,
+                    kernel_op: None,
+                    line: None,
+                    notes: Vec::new(),
+                }));
+            };
+            match op {
+                ProgOp::Load { dst, .. } => {
+                    dead(Some(range_interval(dst)), format!("load (op {i})"), None);
+                }
+                ProgOp::GatherDyn { dst, .. } => {
+                    dead(Some(range_interval(dst)), format!("gather (op {i})"), None);
+                }
+                ProgOp::Kernel {
+                    kernel, bindings, ..
+                } => {
+                    for (si, decl) in kernel.streams.iter().enumerate() {
+                        let write = matches!(
+                            decl.kind,
+                            StreamKind::SeqOut | StreamKind::CondOut | StreamKind::IdxInWrite
+                        );
+                        if !write {
+                            continue;
+                        }
+                        let b = &bindings[si];
+                        let slot = isrf_kernel::ir::StreamSlot(si as u8);
+                        let kop = kernel
+                            .ops
+                            .iter()
+                            .position(|o| o.opcode.stream() == Some(slot));
+                        let region =
+                            binding_footprint(b, decl.kind.is_indexed(), self.cfg.lanes as u32);
+                        let (lo, hi) = region.unwrap_or((0, 0));
+                        dead(
+                            region,
+                            String::new(),
+                            Some({
+                                let mut d = kdiag(
+                                    codes::DEAD_STREAM,
+                                    check,
+                                    i,
+                                    kernel,
+                                    kop,
+                                    format!(
+                                        "kernel `{}` output `{}` fills SRF words [{lo}, {hi}) \
+                                         per bank, but no kernel, store, gather, or scatter \
+                                         ever reads them",
+                                        kernel.name, decl.name
+                                    ),
+                                );
+                                d.check = check.into();
+                                d
+                            }),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // W602: a range at least twice what its records need, wasting at
+        // least 8 words per bank. Indexed bindings address their whole
+        // range by definition and are exempt. Deduplicate by range: many
+        // ops bind the same buffer.
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for a in &self.accesses {
+            let b = &a.binding;
+            if a.indexed || b.records == 0 || b.record_words == 0 {
+                continue;
+            }
+            let key = (b.range.base, b.range.words_per_bank);
+            if seen.contains(&key) {
+                continue;
+            }
+            let max_rec = if b.stride_records == 0 {
+                b.start_record + b.run_records.min(b.records) - 1
+            } else {
+                b.absolute_record(b.records - 1)
+            };
+            let lanes = self.cfg.lanes as u32;
+            let need = (max_rec / lanes) * b.record_words + b.record_words;
+            if b.range.words_per_bank >= 2 * need && b.range.words_per_bank - need >= 8 {
+                seen.push(key);
+                out.push(Diagnostic {
+                    code: codes::OVER_ALLOCATION.into(),
+                    check: check.into(),
+                    message: format!(
+                        "{} uses {need} of the {} words per bank its range holds \
+                         ({} wasted) — consider a tighter allocation",
+                        a.label,
+                        b.range.words_per_bank,
+                        b.range.words_per_bank - need
+                    ),
+                    prog_op: Some(a.prog_op),
+                    kernel: None,
+                    kernel_op: None,
+                    line: None,
+                    notes: Vec::new(),
+                });
+            }
+        }
+    }
 }
 
 /// Build a kernel-scoped diagnostic, resolving the source line when known.
@@ -729,6 +1209,7 @@ fn kdiag(
         kernel: Some(kernel.name.clone()),
         kernel_op,
         line: kernel_op.and_then(|i| kernel.source_line(i)),
+        notes: Vec::new(),
     }
 }
 
@@ -861,271 +1342,9 @@ fn deadlock_for_stream(
     None
 }
 
-// ---------------------------------------------------------------------------
-// V303: interval analysis over kernel bodies
-// ---------------------------------------------------------------------------
-
-/// A closed interval over `i64` (wide enough to hold any `i32` arithmetic
-/// result exactly before clamping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Iv {
-    lo: i64,
-    hi: i64,
-}
-
-/// Abstract value: `None` is ⊤ (unknown).
-type AbsVal = Option<Iv>;
-
-const I32_MIN: i64 = i32::MIN as i64;
-const I32_MAX: i64 = i32::MAX as i64;
-
-fn iv(lo: i64, hi: i64) -> AbsVal {
-    // Anything escaping i32 range may wrap at runtime: give up rather than
-    // model modular arithmetic.
-    if lo < I32_MIN || hi > I32_MAX || lo > hi {
-        None
-    } else {
-        Some(Iv { lo, hi })
-    }
-}
-
-fn exact(v: i64) -> AbsVal {
-    iv(v, v)
-}
-
-fn union(a: AbsVal, b: AbsVal) -> AbsVal {
-    match (a, b) {
-        (Some(a), Some(b)) => iv(a.lo.min(b.lo), a.hi.max(b.hi)),
-        _ => None,
-    }
-}
-
-fn lift2(a: AbsVal, b: AbsVal, f: impl Fn(Iv, Iv) -> AbsVal) -> AbsVal {
-    match (a, b) {
-        (Some(a), Some(b)) => f(a, b),
-        _ => None,
-    }
-}
-
-fn const_of(v: AbsVal) -> Option<i64> {
-    v.filter(|i| i.lo == i.hi).map(|i| i.lo)
-}
-
-fn operand_interval(vals: &[AbsVal], op: &Op, k: usize) -> AbsVal {
-    let o = &op.operands[k];
-    if o.distance > 0 {
-        // Loop-carried: the value from a previous iteration, or `init` on
-        // early iterations. The producer's interval still bounds it, but
-        // `init` must be included too.
-        return union(vals[o.value.index()], exact(o.init as i32 as i64));
-    }
-    vals[o.value.index()]
-}
-
-/// Forward interval analysis over a kernel body (ops are in dependence
-/// order, so one pass suffices; loop-carried operands fold in the
-/// producer's final interval, which is sound because intervals here never
-/// depend on the iteration count except through `IterId`).
-fn eval_intervals(kernel: &Kernel, iters: u64, lanes: i64) -> Vec<AbsVal> {
-    let mut vals: Vec<AbsVal> = Vec::with_capacity(kernel.ops.len());
-    // Two passes: loop-carried operands may reference *later* ops, whose
-    // interval is unknown on the first pass (treated as ⊤, which is sound);
-    // the second pass tightens with every producer computed.
-    for pass in 0..2 {
-        for (i, op) in kernel.ops.iter().enumerate() {
-            let get = |k: usize| -> AbsVal {
-                let o = &op.operands[k];
-                let produced = if o.distance == 0 || pass > 0 || o.value.index() < i {
-                    *vals.get(o.value.index()).unwrap_or(&None)
-                } else {
-                    None
-                };
-                if o.distance > 0 {
-                    union(produced, exact(o.init as i32 as i64))
-                } else {
-                    produced
-                }
-            };
-            use Opcode::*;
-            let v = match op.opcode {
-                Const(w) => exact(w as i32 as i64),
-                LaneId => iv(0, lanes - 1),
-                LaneCount => exact(lanes),
-                IterId => iv(0, (iters.saturating_sub(1)).min(I32_MAX as u64) as i64),
-                Mov => get(0),
-                Neg => get(0).and_then(|a| iv(-a.hi, -a.lo)),
-                Not => get(0).and_then(|a| iv(-a.hi - 1, -a.lo - 1)),
-                Add => lift2(get(0), get(1), |a, b| iv(a.lo + b.lo, a.hi + b.hi)),
-                Sub => lift2(get(0), get(1), |a, b| iv(a.lo - b.hi, a.hi - b.lo)),
-                Mul => lift2(get(0), get(1), |a, b| {
-                    let p = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
-                    iv(*p.iter().min().expect("4"), *p.iter().max().expect("4"))
-                }),
-                Div => lift2(get(0), get(1), |a, b| {
-                    // Only the easy, common case: positive constant divisor.
-                    match const_of(Some(b)) {
-                        Some(d) if d > 0 => iv(a.lo.div_euclid(d).min(a.lo / d), a.hi / d),
-                        _ => None,
-                    }
-                }),
-                Rem => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
-                    Some(d) if d > 0 && a.lo >= 0 => iv(0, (d - 1).min(a.hi)),
-                    _ => None,
-                }),
-                And => {
-                    // Masking with a non-negative value bounds the result
-                    // even when the other operand is completely unknown.
-                    let nonneg = |v: AbsVal| v.filter(|i| i.lo >= 0).map(|i| i.hi);
-                    match (nonneg(get(0)), nonneg(get(1))) {
-                        (Some(a), Some(b)) => iv(0, a.min(b)),
-                        (Some(a), None) => iv(0, a),
-                        (None, Some(b)) => iv(0, b),
-                        (None, None) => None,
-                    }
-                }
-                Or => lift2(get(0), get(1), |a, b| {
-                    if a.lo >= 0 && b.lo >= 0 {
-                        // OR cannot clear bits: at least max(lo); cannot set
-                        // bits above the highest set bit of either hi.
-                        let bits = 64 - (a.hi.max(b.hi) as u64).leading_zeros();
-                        iv(a.lo.max(b.lo), (1i64 << bits) - 1)
-                    } else {
-                        None
-                    }
-                }),
-                Xor => lift2(get(0), get(1), |a, b| {
-                    if a.lo >= 0 && b.lo >= 0 {
-                        let bits = 64 - (a.hi.max(b.hi) as u64).leading_zeros();
-                        iv(0, (1i64 << bits) - 1)
-                    } else {
-                        None
-                    }
-                }),
-                Shl => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
-                    Some(s) if (0..32).contains(&s) => iv(a.lo << s, a.hi << s),
-                    _ => None,
-                }),
-                Shr => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
-                    // Logical shift: only safe on non-negative values.
-                    Some(s) if (0..32).contains(&s) && a.lo >= 0 => iv(a.lo >> s, a.hi >> s),
-                    _ => None,
-                }),
-                Sra => lift2(get(0), get(1), |a, b| match const_of(Some(b)) {
-                    Some(s) if (0..32).contains(&s) => iv(a.lo >> s, a.hi >> s),
-                    _ => None,
-                }),
-                Lt | Le | Eq | Ne | ULt | FLt | FLe | FEq => iv(0, 1),
-                Min => lift2(get(0), get(1), |a, b| iv(a.lo.min(b.lo), a.hi.min(b.hi))),
-                Max => lift2(get(0), get(1), |a, b| iv(a.lo.max(b.lo), a.hi.max(b.hi))),
-                Select => union(get(1), get(2)),
-                // The address token of IdxAddr *is* the index value.
-                IdxAddr(_) => get(0),
-                // Everything data-dependent, floating point, or cross-lane.
-                FNeg
-                | IToF
-                | FToI
-                | FAdd
-                | FSub
-                | FMul
-                | FDiv
-                | FMin
-                | FMax
-                | SeqRead(_)
-                | SeqWrite(_)
-                | CondRead(_)
-                | CondLaneRead(_)
-                | CondWrite(_)
-                | IdxRead(_)
-                | IdxWrite(_)
-                | ScratchRead
-                | ScratchWrite
-                | Comm { .. }
-                | CommXor { .. } => None,
-            };
-            if pass == 0 {
-                vals.push(v);
-            } else {
-                vals[i] = v;
-            }
-        }
-    }
-    vals
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isrf_kernel::ir::{KernelBuilder, StreamKind};
-
-    fn intervals_of(build: impl FnOnce(&mut KernelBuilder)) -> Vec<AbsVal> {
-        let mut b = KernelBuilder::new("t");
-        build(&mut b);
-        let k = b.build().expect("valid kernel");
-        eval_intervals(&k, 100, 8)
-    }
-
-    #[test]
-    fn interval_masking_bounds_index() {
-        // (x & 63) is in [0, 63] even when x is unknown.
-        let vals = intervals_of(|b| {
-            let s = b.stream("in", StreamKind::SeqIn);
-            let o = b.stream("out", StreamKind::SeqOut);
-            let x = b.seq_read(s);
-            let m = b.constant(63);
-            let i = b.push(Opcode::And, vec![x.into(), m.into()]);
-            b.seq_write(o, i);
-        });
-        assert_eq!(vals[2], iv(0, 63));
-    }
-
-    #[test]
-    fn interval_arith_and_compare() {
-        let vals = intervals_of(|b| {
-            let o = b.stream("out", StreamKind::SeqOut);
-            let c = b.constant(10);
-            let l = b.lane_id(); // [0, 7]
-            let s = b.push(Opcode::Add, vec![c.into(), l.into()]); // [10, 17]
-            let m = b.push(Opcode::Mul, vec![s.into(), s.into()]); // [100, 289]
-            let d = b.push(Opcode::Sub, vec![m.into(), c.into()]); // [90, 279]
-            let q = b.push(Opcode::Lt, vec![d.into(), c.into()]); // [0, 1]
-            b.seq_write(o, q);
-        });
-        assert_eq!(vals[2], iv(10, 17));
-        assert_eq!(vals[3], iv(100, 289));
-        assert_eq!(vals[4], iv(90, 279));
-        assert_eq!(vals[5], iv(0, 1));
-    }
-
-    #[test]
-    fn interval_stream_reads_are_top() {
-        let vals = intervals_of(|b| {
-            let s = b.stream("in", StreamKind::SeqIn);
-            let o = b.stream("out", StreamKind::SeqOut);
-            let x = b.seq_read(s);
-            b.seq_write(o, x);
-        });
-        assert_eq!(vals[0], None);
-    }
-
-    #[test]
-    fn interval_carried_operand_includes_init() {
-        // acc = acc<1> + 1 with init 5: producer interval is ⊤-free but the
-        // union with init keeps 5 inside.
-        let vals = intervals_of(|b| {
-            let o = b.stream("out", StreamKind::SeqOut);
-            let one = b.constant(1);
-            let acc = b.push(
-                Opcode::Add,
-                vec![
-                    isrf_kernel::ir::Operand::carried(isrf_kernel::ir::ValueId(1), 1, 5),
-                    one.into(),
-                ],
-            );
-            b.seq_write(o, acc);
-        });
-        // Self-referential sums are unbounded: must be ⊤, not a wrong bound.
-        assert_eq!(vals[1], None);
-    }
 
     #[test]
     fn interval_covers_checks_gaps() {
@@ -1135,5 +1354,16 @@ mod tests {
         assert!(!interval_covers(&mut iv1, 5, 25));
         let mut iv2 = vec![(10, 20), (0, 12)];
         assert!(interval_covers(&mut iv2, 0, 20), "unsorted overlapping");
+    }
+
+    #[test]
+    fn explain_covers_every_code() {
+        for code in [
+            "V101", "V102", "V103", "V201", "V202", "V301", "V302", "V303", "V310", "V311", "V312",
+            "V401", "V501", "W601", "W602",
+        ] {
+            assert!(explain(code).is_some(), "no rule text for {code}");
+        }
+        assert!(explain("V999").is_none());
     }
 }

@@ -24,8 +24,13 @@ const V202: &str = include_str!("corpus/v202_capacity.isrf");
 const V301: &str = include_str!("corpus/v301_indexed_on_base.isrf");
 const V302: &str = include_str!("corpus/v302_crosslane_disabled.isrf");
 const V303: &str = include_str!("corpus/v303_oob_index.isrf");
+const V310P: &str = include_str!("corpus/v310_producer.isrf");
+const V310C: &str = include_str!("corpus/v310_consumer.isrf");
+const V311: &str = include_str!("corpus/v311_scatter.isrf");
+const V312P: &str = include_str!("corpus/v312_producer.isrf");
 const V401: &str = include_str!("corpus/v401_slack.isrf");
 const V501: &str = include_str!("corpus/v501_fifo_deadlock.isrf");
+const W601: &str = include_str!("corpus/w601_dead_output.isrf");
 
 fn diags(m: &Machine, p: &StreamProgram, v: &Verifier) -> Vec<Diagnostic> {
     v.verify(m.config(), &m.verify_env(), p)
@@ -159,6 +164,79 @@ fn case_v501() -> (Machine, StreamProgram) {
     let out = m.alloc_stream(1, 512);
     let mut p = StreamProgram::new();
     p.kernel(k, s, vec![input, lut, out], 64, &[]);
+    (m, p)
+}
+
+/// Producer (constant 100 into `idx`) feeding a consumer that indexes a
+/// 64-record-per-lane table with it: invisible per kernel, V310 across.
+fn case_v310() -> (Machine, StreamProgram) {
+    let mut m = isrf4_machine();
+    let (maker, ms) = compile(V310P, ConfigName::Isrf4);
+    let (consumer, cs) = compile(V310C, ConfigName::Isrf4);
+    let input = m.alloc_stream(1, 64);
+    fill(&mut m, &input);
+    let idx = m.alloc_stream(1, 64);
+    let lut = m.alloc_stream(1, 512);
+    fill(&mut m, &lut);
+    let out = m.alloc_stream(1, 64);
+    let mut p = StreamProgram::new();
+    let prod = p.kernel(maker, ms, vec![input, idx], 8, &[]);
+    p.kernel(consumer, cs, vec![idx, lut, out], 8, &[prod]);
+    (m, p)
+}
+
+/// Same producer, but the consumer *writes* through the poisoned index.
+fn case_v311() -> (Machine, StreamProgram) {
+    let mut m = isrf4_machine();
+    let (maker, ms) = compile(V310P, ConfigName::Isrf4);
+    let (updater, us) = compile(V311, ConfigName::Isrf4);
+    let input = m.alloc_stream(1, 64);
+    fill(&mut m, &input);
+    let idx = m.alloc_stream(1, 64);
+    let val = m.alloc_stream(1, 64);
+    fill(&mut m, &val);
+    let tbl = m.alloc_stream(1, 512);
+    fill(&mut m, &tbl);
+    let mut p = StreamProgram::new();
+    let prod = p.kernel(maker, ms, vec![input, idx], 8, &[]);
+    p.kernel(updater, us, vec![idx, val, tbl], 8, &[prod]);
+    (m, p)
+}
+
+/// Producer writes -5 into every index record; a gather adds them to
+/// base 64 in u32 arithmetic, so every address provably wraps.
+fn case_v312() -> (Machine, StreamProgram) {
+    let mut m = isrf4_machine();
+    let (maker, ms) = compile(V312P, ConfigName::Isrf4);
+    let input = m.alloc_stream(1, 64);
+    fill(&mut m, &input);
+    let idx = m.alloc_stream(1, 64);
+    let dst = m.alloc_stream(1, 64);
+    let mut p = StreamProgram::new();
+    let prod = p.kernel(maker, ms, vec![input, idx], 8, &[]);
+    p.gather_dyn(idx, 64, dst, false, &[prod]);
+    (m, p)
+}
+
+/// A kernel output nothing ever reads back: dead SRF space (W601).
+fn case_w601() -> (Machine, StreamProgram) {
+    let mut m = base_machine();
+    let (k, s) = compile(W601, ConfigName::Base);
+    let buf = m.alloc_stream(1, 64);
+    let out = m.alloc_stream(1, 64);
+    let mut p = StreamProgram::new();
+    let l = p.load(AddrPattern::contiguous(0, 64), buf, false, &[]);
+    p.kernel(k, s, vec![buf, out], 8, &[l]);
+    (m, p)
+}
+
+/// A 32-words-per-bank range holding 8 words of records (W602).
+fn case_w602() -> (Machine, StreamProgram) {
+    let mut m = base_machine();
+    let oversized = StreamBinding::whole(m.alloc_stream(1, 256).range, 1, 64);
+    let mut p = StreamProgram::new();
+    let l = p.load(AddrPattern::contiguous(0, 64), oversized, false, &[]);
+    p.store(oversized, AddrPattern::contiguous(4096, 64), false, &[l]);
     (m, p)
 }
 
@@ -322,6 +400,83 @@ fn v501_fifo_deadlock() {
 }
 
 #[test]
+fn v310_propagated_index_out_of_bounds() {
+    let (m, p) = case_v310();
+    let d = diags(&m, &p, &Verifier::new());
+    assert_eq!(codes_of(&d), [codes::PROPAGATED_INDEX_OOB], "{d:?}");
+    assert_eq!(d[0].kernel.as_deref(), Some("lookup_dyn"));
+    assert_eq!(d[0].line, Some(line_of(V310C, "LUT[")), "{}", d[0]);
+    assert!(d[0].message.contains("[100, 100]"), "{}", d[0]);
+    // The dataflow path names the producing kernel and the SRF region.
+    assert!(
+        d[0].notes.iter().any(|n| n.contains("make_idx")),
+        "{:?}",
+        d[0].notes
+    );
+}
+
+#[test]
+fn v311_propagated_write_out_of_bounds() {
+    let (m, p) = case_v311();
+    let d = diags(&m, &p, &Verifier::new());
+    assert_eq!(codes_of(&d), [codes::PROPAGATED_WRITE_OOB], "{d:?}");
+    assert_eq!(d[0].kernel.as_deref(), Some("table_update"));
+    assert_eq!(d[0].line, Some(line_of(V311, "TBL[")), "{}", d[0]);
+    assert!(d[0].message.contains("stream `TBL`"), "{}", d[0]);
+}
+
+#[test]
+fn v312_gather_address_wrap() {
+    let (m, p) = case_v312();
+    let d = diags(&m, &p, &Verifier::new());
+    assert_eq!(codes_of(&d), [codes::GATHER_ADDRESS_WRAP], "{d:?}");
+    assert_eq!(d[0].prog_op, Some(1));
+    assert!(d[0].message.contains("base 64"), "{}", d[0]);
+    assert!(
+        d[0].notes.iter().any(|n| n.contains("[-5, -5]")),
+        "{:?}",
+        d[0].notes
+    );
+}
+
+#[test]
+fn w601_dead_stream_is_a_warning() {
+    let (m, p) = case_w601();
+    let v = Verifier::new();
+    // The program is *valid* — space findings never fail verification.
+    assert!(diags(&m, &p, &v).is_empty());
+    let r = v.report(m.config(), &m.verify_env(), &p);
+    assert_eq!(
+        codes_of(&r.warnings),
+        [codes::DEAD_STREAM],
+        "{:?}",
+        r.warnings
+    );
+    let w = &r.warnings[0];
+    assert_eq!(w.kernel.as_deref(), Some("copy_through"));
+    assert_eq!(w.line, Some(line_of(W601, "out <<")), "{w}");
+}
+
+#[test]
+fn w602_over_allocation_is_a_warning() {
+    let (m, p) = case_w602();
+    let v = Verifier::new();
+    assert!(diags(&m, &p, &v).is_empty());
+    let r = v.report(m.config(), &m.verify_env(), &p);
+    assert_eq!(
+        codes_of(&r.warnings),
+        [codes::OVER_ALLOCATION],
+        "{:?}",
+        r.warnings
+    );
+    assert!(
+        r.warnings[0].message.contains("8 of the 32 words"),
+        "{}",
+        r.warnings[0]
+    );
+}
+
+#[test]
 fn gather_index_stream_must_be_filled() {
     // Builder-level case: a dynamic gather whose index stream was never
     // produced reads garbage addresses at issue.
@@ -342,7 +497,7 @@ fn gather_index_stream_must_be_filled() {
 #[test]
 fn each_check_is_load_bearing() {
     type Case = fn() -> (Machine, StreamProgram);
-    let cases: [(Case, Check, &str); 5] = [
+    let cases: [(Case, Check, &str); 6] = [
         (case_v101, Check::Liveness, codes::UNFILLED_READ),
         (case_v201, Check::Allocation, codes::OVERLAP_HAZARD),
         (
@@ -350,6 +505,7 @@ fn each_check_is_load_bearing() {
             Check::Indexed,
             codes::INDEXED_ON_NON_INDEXED_CONFIG,
         ),
+        (case_v310, Check::Propagation, codes::PROPAGATED_INDEX_OOB),
         (case_v401, Check::Slack, codes::INSUFFICIENT_SLACK),
         (case_v501, Check::Deadlock, codes::FIFO_DEADLOCK),
     ];
@@ -363,6 +519,19 @@ fn each_check_is_load_bearing() {
             "disabling {check:?} must drop {code}, got {without:?}"
         );
     }
+    // Space findings surface through `report`, so the load-bearing proof
+    // goes through it too.
+    let (m, p) = case_w601();
+    let with = Verifier::new().report(m.config(), &m.verify_env(), &p);
+    assert_eq!(codes_of(&with.warnings), [codes::DEAD_STREAM]);
+    let without = Verifier::new()
+        .without(Check::Space)
+        .report(m.config(), &m.verify_env(), &p);
+    assert!(
+        without.warnings.is_empty(),
+        "disabling Space must drop W601, got {:?}",
+        without.warnings
+    );
 }
 
 #[test]
